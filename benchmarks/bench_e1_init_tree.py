@@ -1,0 +1,12 @@
+"""E1 benchmark - Theorem 2: Init builds a bi-tree in O(log Delta log n) slots."""
+
+from repro.experiments import e1_init
+
+from .conftest import run_experiment
+
+
+def bench_e1_init_tree(benchmark, config):
+    result = run_experiment(benchmark, e1_init.run, config)
+    assert result.summary["all_strongly_connected"]
+    # Slot count stays within a constant multiple of log(Delta) * log(n).
+    assert result.summary["max_slots_per_logD_logn"] < 40.0

@@ -1,0 +1,10 @@
+"""E2 benchmark - Theorem 7: Init tree max degree is O(log n)."""
+
+from repro.experiments import e2_degree
+
+from .conftest import run_experiment
+
+
+def bench_e2_degree(benchmark, config):
+    result = run_experiment(benchmark, e2_degree.run, config)
+    assert result.summary["max_max_degree_per_log_n"] < 4.0

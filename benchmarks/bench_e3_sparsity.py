@@ -1,0 +1,10 @@
+"""E3 benchmark - Theorem 11: Init tree is O(log n)-sparse."""
+
+from repro.experiments import e3_sparsity
+
+from .conftest import run_experiment
+
+
+def bench_e3_sparsity(benchmark, config):
+    result = run_experiment(benchmark, e3_sparsity.run, config)
+    assert result.summary["max_psi_per_log_n"] < 4.0

@@ -1,0 +1,10 @@
+"""E4 benchmark - Theorem 3: mean-power rescheduling of the Init tree."""
+
+from repro.experiments import e4_reschedule
+
+from .conftest import run_experiment
+
+
+def bench_e4_reschedule(benchmark, config):
+    result = run_experiment(benchmark, e4_reschedule.run, config)
+    assert result.summary["all_feasible"]

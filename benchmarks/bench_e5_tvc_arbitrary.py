@@ -1,0 +1,11 @@
+"""E5 benchmark - Theorems 4/21: TreeViaCapacity + power control, O(log n) slots."""
+
+from repro.experiments import e5_tvc_arbitrary
+
+from .conftest import run_experiment
+
+
+def bench_e5_tvc_arbitrary(benchmark, config):
+    result = run_experiment(benchmark, e5_tvc_arbitrary.run, config)
+    assert result.summary["all_valid"]
+    assert result.summary["max_len_per_log_n"] < 10.0

@@ -1,0 +1,11 @@
+"""E6 benchmark - Theorem 16: TreeViaCapacity + mean power, O(Upsilon log n) slots."""
+
+from repro.experiments import e6_tvc_mean
+
+from .conftest import run_experiment
+
+
+def bench_e6_tvc_mean(benchmark, config):
+    result = run_experiment(benchmark, e6_tvc_mean.run, config)
+    assert result.summary["all_feasible"]
+    assert result.summary["mean_len_per_upsilon_log_n"] < 3.0

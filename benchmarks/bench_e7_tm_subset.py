@@ -1,0 +1,11 @@
+"""E7 benchmark - Theorem 13: T(M) is O(1)-sparse and a constant fraction of T."""
+
+from repro.experiments import e7_tm_subset
+
+from .conftest import run_experiment
+
+
+def bench_e7_tm_subset(benchmark, config):
+    result = run_experiment(benchmark, e7_tm_subset.run, config)
+    assert result.summary["min_fraction"] >= 0.4
+    assert result.summary["max_tm_sparsity"] <= 12

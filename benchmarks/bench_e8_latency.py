@@ -1,0 +1,12 @@
+"""E8 benchmark - bi-tree latency: convergecast, broadcast, pairwise traffic."""
+
+from repro.experiments import e8_latency
+
+from .conftest import run_experiment
+
+
+def bench_e8_latency(benchmark, config):
+    result = run_experiment(benchmark, e8_latency.run, config)
+    assert result.summary["all_convergecasts_correct"]
+    assert result.summary["all_broadcasts_complete"]
+    assert result.summary["all_pairwise_delivered"]

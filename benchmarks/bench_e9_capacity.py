@@ -1,0 +1,11 @@
+"""E9 benchmark - Theorem 9 substrate: capacity and scheduling of sparse sets."""
+
+from repro.experiments import e9_capacity
+
+from .conftest import run_experiment
+
+
+def bench_e9_capacity(benchmark, config):
+    result = run_experiment(benchmark, e9_capacity.run, config)
+    assert result.summary["all_selected_feasible"]
+    assert result.summary["mean_selected_fraction"] > 0.1

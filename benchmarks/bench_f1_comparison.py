@@ -1,0 +1,13 @@
+"""F1 benchmark - headline schedule-length comparison across all methods."""
+
+from repro.experiments import f1_comparison
+
+from .conftest import run_experiment
+
+
+def bench_f1_comparison(benchmark, config):
+    result = run_experiment(benchmark, f1_comparison.run, config)
+    assert result.summary["ordering_expected"]
+    # The distributed power-control structure should be within a small factor
+    # of the centralized baseline (the paper's headline claim).
+    assert result.summary["tvc_arbitrary_over_centralized"] < 5.0

@@ -1,0 +1,13 @@
+"""F2 benchmark - Delta dependence of construction cost and schedule length."""
+
+from repro.experiments import f2_delta
+
+from .conftest import run_experiment
+
+
+def bench_f2_delta(benchmark, config):
+    result = run_experiment(benchmark, f2_delta.run, config)
+    # Construction cost (Init) must grow with Delta; the power-controlled
+    # schedule length must stay essentially flat.
+    assert result.summary["init_slots_growth"] > 1.2
+    assert result.summary["tvc_arbitrary_growth"] < 2.5

@@ -1,0 +1,13 @@
+"""F3 benchmark - uniform power's worst case (exponential chain)."""
+
+from repro.experiments import f3_uniform_lower_bound
+
+from .conftest import run_experiment
+
+
+def bench_f3_uniform_lower_bound(benchmark, config):
+    result = run_experiment(benchmark, f3_uniform_lower_bound.run, config)
+    # Uniform power degenerates to (nearly) one slot per link on this family,
+    # while power control stays far below it.
+    assert result.summary["uniform_slots_per_link_at_max_n"] >= 0.8
+    assert result.summary["tvc_arbitrary_vs_uniform"] < 1.0

@@ -1,0 +1,67 @@
+"""Micro-benchmarks of the SINR substrate primitives.
+
+These are classic pytest-benchmark timings (many rounds) of the hot kernels
+the simulations are built on: affectance matrices, feasibility checks, channel
+resolution and the power-control solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import solve_power
+from repro.geometry import uniform_random
+from repro.links import Link, LinkSet, sparsity
+from repro.sinr import (
+    Channel,
+    MeanPower,
+    SINRParameters,
+    Transmission,
+    affectance_matrix,
+    is_feasible,
+)
+
+PARAMS = SINRParameters()
+
+
+@pytest.fixture(scope="module")
+def link_sample() -> list[Link]:
+    rng = np.random.default_rng(3)
+    nodes = uniform_random(200, rng)
+    return [Link(nodes[i], nodes[i + 1]) for i in range(0, 198, 2)]
+
+
+@pytest.fixture(scope="module")
+def mean_power(link_sample) -> MeanPower:
+    longest = max(link.length for link in link_sample)
+    return MeanPower.for_max_length(PARAMS, longest)
+
+
+def bench_affectance_matrix_100_links(benchmark, link_sample, mean_power):
+    benchmark(affectance_matrix, link_sample, mean_power, PARAMS)
+
+
+def bench_feasibility_check_100_links(benchmark, link_sample, mean_power):
+    benchmark(is_feasible, link_sample, mean_power, PARAMS)
+
+
+def bench_channel_resolution_100_tx(benchmark, link_sample, mean_power):
+    channel = Channel(PARAMS)
+    transmissions = [
+        Transmission(link.sender, mean_power.power(link), "x") for link in link_sample
+    ]
+    listeners = [link.receiver for link in link_sample]
+    benchmark(channel.resolve, transmissions, listeners)
+
+
+def bench_sparsity_measurement_100_links(benchmark, link_sample):
+    benchmark(sparsity, LinkSet(link_sample))
+
+
+def bench_power_solver_on_selected_subset(benchmark, link_sample):
+    # Solve powers for a capacity-selected, power-controllable subset.
+    from repro.core import select_power_controllable_subset
+
+    selected = list(select_power_controllable_subset(link_sample, PARAMS))
+    benchmark(solve_power, selected, PARAMS, 1.05)

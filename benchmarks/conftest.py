@@ -1,0 +1,35 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark wraps one experiment from ``repro.experiments`` (the
+experiment index in DESIGN.md / EXPERIMENTS.md), runs it once under
+pytest-benchmark timing, prints the regenerated table, and asserts the
+experiment's headline check so a benchmark run doubles as a reproduction run.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    """Sweep used by the benchmark harness (kept laptop-friendly)."""
+    return ExperimentConfig(
+        sizes=(24, 48, 96),
+        delta_targets=(1.0e2, 1.0e4, 1.0e6),
+        seeds=(1, 2),
+        delta_sweep_size=40,
+    )
+
+
+def run_experiment(benchmark, runner, config):
+    """Execute one experiment exactly once under benchmark timing."""
+    result = benchmark.pedantic(runner, args=(config,), rounds=1, iterations=1)
+    print()
+    print(result.table())
+    print("summary:", result.summary)
+    return result

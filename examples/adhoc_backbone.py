@@ -1,0 +1,62 @@
+"""Ad-hoc network backbone under an extreme distance spread.
+
+An ad-hoc deployment with a dense core and a handful of far-away relays pushes
+the distance ratio Delta to 10^5.  This is the regime where power assignment
+matters most:
+
+* any fixed (uniform) power schedule pays a log(Delta) factor;
+* the oblivious mean-power schedule only pays log log(Delta);
+* the power-controlled TreeViaCapacity schedule is essentially Delta-free.
+
+The example builds all three and prints the comparison, together with the
+latency of relaying a message between the two farthest nodes over the bi-tree.
+
+Run with:  python examples/adhoc_backbone.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import ConnectivityProtocol, SINRParameters
+from repro.analysis import pairwise_latency
+from repro.baselines import UniformScheduler, naive_tdma_schedule
+from repro.geometry import two_scale
+
+
+def main() -> None:
+    rng = np.random.default_rng(23)
+    params = SINRParameters(alpha=3.0, beta=1.5, noise=1.0)
+    protocol = ConnectivityProtocol(params)
+
+    nodes = two_scale(56, rng, delta_target=1.0e5, outliers=4)
+    print(f"Deployed {len(nodes)} nodes with a target distance spread of 1e5.")
+
+    print("Step 1: distributed construction of the initial tree (uniform per-round power) ...")
+    initial = protocol.build_initial_tree(nodes, rng)
+    links = initial.tree.aggregation_links()
+    print(f"  construction: {initial.slots_used} slots, "
+          f"initial schedule: {initial.tree.aggregation_schedule.length} slots")
+
+    print("Step 2: schedules of the same backbone under different power regimes ...")
+    uniform = UniformScheduler(params).schedule(links)
+    rescheduled = protocol.reschedule_with_mean_power(initial, rng)
+    tdma = naive_tdma_schedule(links, params)
+    print(f"  naive TDMA                : {tdma.schedule_length} slots")
+    print(f"  uniform power (first fit) : {uniform.schedule_length} slots")
+    print(f"  mean power (distributed)  : {rescheduled.schedule_length} slots")
+
+    print("Step 3: rebuild with TreeViaCapacity + power control (Theorem 4) ...")
+    efficient = protocol.build_efficient_tree(nodes, rng, power_mode="arbitrary")
+    print(f"  power-controlled schedule : {efficient.schedule_length} slots "
+          f"(feasible: {efficient.aggregation_feasible})")
+
+    ids = sorted(efficient.tree.nodes)
+    source, destination = ids[0], ids[-1]
+    relay = pairwise_latency(efficient.tree, efficient.power, params, source, destination)
+    print(f"Relaying a message {source} -> {destination} through the bi-tree took "
+          f"{relay.slots} slots (delivered: {relay.delivered}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Power-assignment study: how the schedule length scales with n and Delta.
+
+A compact version of experiments F1 and F2: sweeps the network size (and then
+the distance spread) and prints, for each method, the schedule length of the
+resulting connectivity structure.  Useful as a template for running custom
+parameter sweeps with the library.
+
+Run with:  python examples/power_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.baselines import CentralizedMSTBaseline, UniformScheduler
+from repro.core import ConnectivityProtocol, upsilon
+from repro.geometry import two_scale, uniform_random
+from repro.sinr import SINRParameters
+
+
+def size_sweep(params: SINRParameters, sizes: tuple[int, ...]) -> list[dict]:
+    protocol = ConnectivityProtocol(params)
+    uniform = UniformScheduler(params)
+    centralized = CentralizedMSTBaseline(params)
+    rows = []
+    for n in sizes:
+        rng = np.random.default_rng(100 + n)
+        nodes = uniform_random(n, rng)
+        initial = protocol.build_initial_tree(nodes, rng)
+        links = initial.tree.aggregation_links()
+        rows.append(
+            {
+                "n": n,
+                "init_stamps": initial.tree.aggregation_schedule.length,
+                "uniform_ff": uniform.schedule(links).schedule_length,
+                "mean_resched": protocol.reschedule_with_mean_power(initial, rng).schedule_length,
+                "tvc_mean": protocol.build_efficient_tree(nodes, rng, power_mode="mean").schedule_length,
+                "tvc_arbitrary": protocol.build_efficient_tree(nodes, rng, power_mode="arbitrary").schedule_length,
+                "centralized_mst": centralized.build(nodes).schedule_length,
+            }
+        )
+    return rows
+
+
+def delta_sweep(params: SINRParameters, n: int, targets: tuple[float, ...]) -> list[dict]:
+    protocol = ConnectivityProtocol(params)
+    uniform = UniformScheduler(params)
+    rows = []
+    for target in targets:
+        rng = np.random.default_rng(int(target) % 97 + 7)
+        nodes = two_scale(n, rng, delta_target=target)
+        initial = protocol.build_initial_tree(nodes, rng)
+        links = initial.tree.aggregation_links()
+        efficient = protocol.build_efficient_tree(nodes, rng, power_mode="arbitrary")
+        rows.append(
+            {
+                "delta_target": target,
+                "upsilon": round(upsilon(n, initial.delta), 1),
+                "init_slots": initial.slots_used,
+                "uniform_ff": uniform.schedule(links).schedule_length,
+                "mean_resched": protocol.reschedule_with_mean_power(initial, rng).schedule_length,
+                "tvc_arbitrary": efficient.schedule_length,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    params = SINRParameters(alpha=3.0, beta=1.5, noise=1.0)
+
+    print("Schedule length vs network size (uniform random deployments)")
+    print(format_table(size_sweep(params, (32, 64, 128))))
+    print()
+    print("Schedule length vs distance spread Delta (two-scale deployments, n = 48)")
+    print(format_table(delta_sweep(params, 48, (1e2, 1e4, 1e6))))
+
+
+if __name__ == "__main__":
+    main()

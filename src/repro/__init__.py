@@ -1,0 +1,121 @@
+"""repro: distributed connectivity of wireless networks in the SINR model.
+
+A from-scratch reproduction of Halldorsson & Mitra, "Distributed Connectivity
+of Wireless Networks" (PODC 2012 / arXiv:1205.5164): the SINR simulation
+substrate, the distributed bi-tree construction ``Init``, sparsity-based
+mean-power rescheduling, the ``TreeViaCapacity`` framework matching
+centralized schedule lengths, baselines, and an experiment harness validating
+every theorem's scaling behaviour.
+
+Quickstart::
+
+    import numpy as np
+    from repro import uniform_random, SINRParameters, ConnectivityProtocol
+
+    rng = np.random.default_rng(0)
+    nodes = uniform_random(64, rng)
+    protocol = ConnectivityProtocol(SINRParameters())
+    result = protocol.build_initial_tree(nodes, rng)
+    print(result.tree.root_id, result.slots_used)
+"""
+
+from .constants import AlgorithmConstants, PaperConstants, PracticalConstants
+from .exceptions import (
+    ConfigurationError,
+    ConvergenceError,
+    DeploymentError,
+    InfeasiblePowerError,
+    ProtocolError,
+    ReproError,
+    ScheduleError,
+)
+from .geometry import (
+    Node,
+    Point,
+    clustered,
+    exponential_chain,
+    grid,
+    linear_chain,
+    two_scale,
+    uniform_random,
+)
+from .links import Link, LinkSet, sparsity
+from .sinr import (
+    Channel,
+    ExplicitPower,
+    LinearPower,
+    MeanPower,
+    SINRParameters,
+    UniformPower,
+    affectance_matrix,
+    is_feasible,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # constants
+    "AlgorithmConstants",
+    "PracticalConstants",
+    "PaperConstants",
+    # exceptions
+    "ReproError",
+    "ConfigurationError",
+    "DeploymentError",
+    "InfeasiblePowerError",
+    "ScheduleError",
+    "ProtocolError",
+    "ConvergenceError",
+    # geometry
+    "Point",
+    "Node",
+    "uniform_random",
+    "grid",
+    "clustered",
+    "two_scale",
+    "exponential_chain",
+    "linear_chain",
+    # links
+    "Link",
+    "LinkSet",
+    "sparsity",
+    # sinr
+    "SINRParameters",
+    "UniformPower",
+    "MeanPower",
+    "LinearPower",
+    "ExplicitPower",
+    "Channel",
+    "affectance_matrix",
+    "is_feasible",
+    # core (resolved lazily below)
+    "BiTree",
+    "Schedule",
+    "InitialTreeBuilder",
+    "InitialTreeResult",
+    "ConnectivityProtocol",
+    "TreeViaCapacity",
+]
+
+
+def __getattr__(name: str):
+    """Lazily re-export the core protocol classes.
+
+    The core package imports the substrate packages; importing it eagerly here
+    would create a cycle during package initialization, so the headline
+    classes are resolved on first access instead.
+    """
+    core_exports = {
+        "BiTree",
+        "Schedule",
+        "InitialTreeBuilder",
+        "InitialTreeResult",
+        "ConnectivityProtocol",
+        "TreeViaCapacity",
+    }
+    if name in core_exports:
+        from . import core
+
+        return getattr(core, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

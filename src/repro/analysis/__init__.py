@@ -1,0 +1,45 @@
+"""Analysis: metrics, latency replay, validation, reporting."""
+
+from .latency import (
+    BroadcastOutcome,
+    ConvergecastOutcome,
+    PairwiseOutcome,
+    pairwise_latency,
+    simulate_broadcast,
+    simulate_convergecast,
+)
+from .metrics import (
+    AffectanceStatistics,
+    DegreeStatistics,
+    ScheduleStatistics,
+    affectance_statistics,
+    degree_statistics,
+    loglog_fit,
+    schedule_statistics,
+    tree_sparsity,
+)
+from .reporting import format_markdown_table, format_table, format_value
+from .validation import ValidationReport, validate_bitree, validate_connectivity_solution
+
+__all__ = [
+    "ConvergecastOutcome",
+    "BroadcastOutcome",
+    "PairwiseOutcome",
+    "simulate_convergecast",
+    "simulate_broadcast",
+    "pairwise_latency",
+    "DegreeStatistics",
+    "degree_statistics",
+    "ScheduleStatistics",
+    "schedule_statistics",
+    "AffectanceStatistics",
+    "affectance_statistics",
+    "tree_sparsity",
+    "loglog_fit",
+    "format_table",
+    "format_markdown_table",
+    "format_value",
+    "ValidationReport",
+    "validate_bitree",
+    "validate_connectivity_solution",
+]

@@ -1,0 +1,143 @@
+"""Metrics over trees, link sets and schedules used by the experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.bitree import BiTree
+from ..core.schedule import Schedule
+from ..links import Link, LinkSet, sparsity
+from ..sinr import PowerAssignment, SINRParameters, affectance_matrix
+
+__all__ = [
+    "DegreeStatistics",
+    "degree_statistics",
+    "ScheduleStatistics",
+    "schedule_statistics",
+    "tree_sparsity",
+    "affectance_statistics",
+    "AffectanceStatistics",
+    "loglog_fit",
+]
+
+
+@dataclass(frozen=True)
+class DegreeStatistics:
+    """Degree distribution summary of a tree or link set.
+
+    Attributes:
+        max_degree: largest node degree.
+        mean_degree: average node degree.
+        degree_histogram: mapping from degree value to node count.
+    """
+
+    max_degree: int
+    mean_degree: float
+    degree_histogram: dict[int, int]
+
+
+def degree_statistics(links: LinkSet | BiTree) -> DegreeStatistics:
+    """Degree statistics of a link set or of a bi-tree's undirected edges."""
+    if isinstance(links, BiTree):
+        degrees = links.degrees()
+    else:
+        degrees = links.degrees()
+    if not degrees:
+        return DegreeStatistics(0, 0.0, {})
+    values = list(degrees.values())
+    histogram: dict[int, int] = {}
+    for value in values:
+        histogram[value] = histogram.get(value, 0) + 1
+    return DegreeStatistics(
+        max_degree=max(values),
+        mean_degree=float(np.mean(values)),
+        degree_histogram=dict(sorted(histogram.items())),
+    )
+
+
+@dataclass(frozen=True)
+class ScheduleStatistics:
+    """Summary of a schedule's shape.
+
+    Attributes:
+        length: number of distinct slots used.
+        links: number of scheduled links.
+        max_slot_size: largest number of links sharing a slot.
+        mean_slot_size: average links per used slot.
+    """
+
+    length: int
+    links: int
+    max_slot_size: int
+    mean_slot_size: float
+
+
+def schedule_statistics(schedule: Schedule) -> ScheduleStatistics:
+    """Shape statistics of a schedule."""
+    groups = schedule.slot_groups()
+    if not groups:
+        return ScheduleStatistics(0, 0, 0, 0.0)
+    sizes = [len(group) for group in groups.values()]
+    return ScheduleStatistics(
+        length=len(groups),
+        links=len(schedule),
+        max_slot_size=max(sizes),
+        mean_slot_size=float(np.mean(sizes)),
+    )
+
+
+def tree_sparsity(tree: BiTree, length_factor: float = 8.0) -> int:
+    """Measured psi-sparsity of a bi-tree's aggregation links (Theorem 11)."""
+    return sparsity(tree.aggregation_links(), length_factor).psi
+
+
+@dataclass(frozen=True)
+class AffectanceStatistics:
+    """Affectance summary of a link set under a power assignment.
+
+    Attributes:
+        mean_incoming: average total affectance suffered per link
+            (the quantity Lemma 14 bounds by O(Upsilon) on ``T(M)``).
+        max_incoming: worst-case total affectance on a link.
+        total: sum of all pairwise affectances.
+    """
+
+    mean_incoming: float
+    max_incoming: float
+    total: float
+
+
+def affectance_statistics(
+    links: Sequence[Link] | LinkSet, power: PowerAssignment, params: SINRParameters
+) -> AffectanceStatistics:
+    """Affectance statistics of a link set under ``power``."""
+    link_list = list(links)
+    if len(link_list) < 2:
+        return AffectanceStatistics(0.0, 0.0, 0.0)
+    matrix = affectance_matrix(link_list, power, params)
+    incoming = matrix.sum(axis=0)
+    return AffectanceStatistics(
+        mean_incoming=float(incoming.mean()),
+        max_incoming=float(incoming.max()),
+        total=float(matrix.sum()),
+    )
+
+
+def loglog_fit(xs: Sequence[float], ys: Sequence[float]) -> tuple[float, float]:
+    """Least-squares fit of ``y ~ c * x**k`` returning ``(k, c)``.
+
+    Used by the experiment harness to check growth shapes (e.g. schedule
+    length vs ``log n``).  Requires positive data.
+    """
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs of equal length")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("loglog_fit requires positive values")
+    log_x = np.log(np.asarray(xs, dtype=float))
+    log_y = np.log(np.asarray(ys, dtype=float))
+    slope, intercept = np.polyfit(log_x, log_y, deg=1)
+    return float(slope), float(math.exp(intercept))

@@ -1,0 +1,76 @@
+"""Plain-text table rendering for experiment results.
+
+The experiment harness produces rows of dictionaries; this module turns them
+into aligned text / Markdown tables so benchmark output and EXPERIMENTS.md can
+share the same rendering.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_markdown_table", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly rendering of a single cell value."""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.01:
+            return f"{value:.3g}"
+        return f"{value:.2f}"
+    return str(value)
+
+
+def _normalize_rows(
+    rows: Sequence[Mapping[str, Any]], columns: Sequence[str] | None
+) -> tuple[list[str], list[list[str]]]:
+    if columns is None:
+        seen: list[str] = []
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.append(key)
+        columns = seen
+    rendered = [[format_value(row.get(column, "")) for column in columns] for row in rows]
+    return list(columns), rendered
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    header, body = _normalize_rows(rows, columns)
+    widths = [len(column) for column in header]
+    for row in body:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(column.ljust(widths[index]) for index, column in enumerate(header)))
+    lines.append("  ".join("-" * widths[index] for index in range(len(header))))
+    for row in body:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render rows as a GitHub-flavoured Markdown table."""
+    if not rows:
+        return "(no rows)"
+    header, body = _normalize_rows(rows, columns)
+    lines = ["| " + " | ".join(header) + " |", "|" + "|".join("---" for _ in header) + "|"]
+    for row in body:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)

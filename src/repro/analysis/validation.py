@@ -1,0 +1,147 @@
+"""End-to-end validators for connectivity structures and their schedules.
+
+These are the checks the experiments (and the integration tests) run on every
+produced structure:
+
+* the structure spans all nodes and is strongly connected;
+* the schedule covers every tree link and every slot group is feasible under
+  the recorded power assignment;
+* the aggregation schedule respects the leaf-to-root ordering;
+* a physically replayed convergecast and broadcast both complete.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.bitree import BiTree
+from ..exceptions import ScheduleError
+from ..geometry import Node
+from ..sinr import PowerAssignment, SINRParameters
+from .latency import simulate_broadcast, simulate_convergecast
+
+__all__ = ["ValidationReport", "validate_bitree", "validate_connectivity_solution"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of a full bi-tree validation.
+
+    Attributes:
+        spanning: parent map is a spanning in-tree over the given nodes.
+        strongly_connected: the bidirectional link set strongly connects them.
+        schedule_feasible: every aggregation slot is feasible under the power.
+        dissemination_feasible: every dissemination slot is feasible.
+        aggregation_order: the schedule respects the aggregation order.
+        convergecast_ok: a replayed convergecast delivered the true aggregate.
+        broadcast_ok: a replayed broadcast reached every node.
+        issues: human-readable list of everything that failed.
+    """
+
+    spanning: bool
+    strongly_connected: bool
+    schedule_feasible: bool
+    dissemination_feasible: bool
+    aggregation_order: bool
+    convergecast_ok: bool
+    broadcast_ok: bool
+    issues: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        """Whether every check passed."""
+        return not self.issues
+
+
+def validate_bitree(
+    tree: BiTree,
+    nodes: Sequence[Node],
+    power: PowerAssignment,
+    params: SINRParameters,
+    *,
+    check_latency: bool = True,
+) -> ValidationReport:
+    """Run the full validation battery on a bi-tree.
+
+    Args:
+        tree: the structure to validate.
+        nodes: the nodes it is supposed to span.
+        power: the power assignment its schedule claims feasibility under.
+        params: physical-model parameters.
+        check_latency: also replay convergecast and broadcast on the channel.
+    """
+    issues: list[str] = []
+
+    expected_ids = {node.id for node in nodes}
+    spanning = True
+    try:
+        tree.validate()
+        if set(tree.nodes) != expected_ids:
+            spanning = False
+            issues.append("tree does not span the expected node set")
+    except ScheduleError as error:
+        spanning = False
+        issues.append(f"structure: {error}")
+
+    strongly_connected = tree.is_strongly_connected()
+    if not strongly_connected:
+        issues.append("bidirectional link set is not strongly connected")
+
+    schedule_feasible = tree.aggregation_schedule.is_feasible(power, params)
+    if not schedule_feasible:
+        bad = tree.aggregation_schedule.infeasible_slots(power, params)
+        issues.append(f"aggregation schedule has {len(bad)} infeasible slots")
+    dissemination_feasible = tree.dissemination_schedule.is_feasible(power, params)
+    if not dissemination_feasible:
+        bad = tree.dissemination_schedule.infeasible_slots(power, params)
+        issues.append(f"dissemination schedule has {len(bad)} infeasible slots")
+
+    aggregation_order = True
+    try:
+        tree.validate_aggregation_order()
+    except ScheduleError as error:
+        aggregation_order = False
+        issues.append(f"ordering: {error}")
+
+    convergecast_ok = True
+    broadcast_ok = True
+    if check_latency:
+        up = simulate_convergecast(tree, power, params)
+        convergecast_ok = up.correct
+        if not convergecast_ok:
+            issues.append(
+                f"convergecast failed ({up.failed_links} link failures, "
+                f"root got {up.root_value} expected {up.expected_value})"
+            )
+        down = simulate_broadcast(tree, power, params)
+        broadcast_ok = down.complete
+        if not broadcast_ok:
+            issues.append(f"broadcast reached {down.reached}/{down.total} nodes")
+
+    return ValidationReport(
+        spanning=spanning,
+        strongly_connected=strongly_connected,
+        schedule_feasible=schedule_feasible,
+        dissemination_feasible=dissemination_feasible,
+        aggregation_order=aggregation_order,
+        convergecast_ok=convergecast_ok,
+        broadcast_ok=broadcast_ok,
+        issues=tuple(issues),
+    )
+
+
+def validate_connectivity_solution(
+    tree: BiTree,
+    nodes: Sequence[Node],
+    power: PowerAssignment,
+    params: SINRParameters,
+) -> None:
+    """Validate a bi-tree and raise on any failure.
+
+    Raises:
+        ScheduleError: describing every failed check.
+    """
+    report = validate_bitree(tree, nodes, power, params)
+    if not report.ok:
+        raise ScheduleError("; ".join(report.issues))

@@ -1,0 +1,15 @@
+"""Baselines: centralized MST scheduling, uniform power, naive TDMA."""
+
+from .centralized_mst import CentralizedBaselineResult, CentralizedMSTBaseline, euclidean_mst_tree
+from .naive_tdma import NaiveTdmaResult, naive_tdma_schedule
+from .uniform_scheduling import UniformScheduler, UniformSchedulingResult
+
+__all__ = [
+    "CentralizedMSTBaseline",
+    "CentralizedBaselineResult",
+    "euclidean_mst_tree",
+    "UniformScheduler",
+    "UniformSchedulingResult",
+    "naive_tdma_schedule",
+    "NaiveTdmaResult",
+]

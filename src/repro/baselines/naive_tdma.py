@@ -1,0 +1,41 @@
+"""Naive TDMA baseline: one link per slot.
+
+The trivially correct schedule - every link gets its own slot - is the upper
+anchor for every comparison plot: any scheme whose schedule length approaches
+``|L|`` is doing no better than pure time division.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..links import Link, LinkSet
+from ..sinr import PowerAssignment, SINRParameters, UniformPower
+from ..core.schedule import Schedule
+
+__all__ = ["NaiveTdmaResult", "naive_tdma_schedule"]
+
+
+@dataclass(frozen=True)
+class NaiveTdmaResult:
+    """Outcome of the one-link-per-slot baseline."""
+
+    schedule: Schedule
+    power: PowerAssignment
+
+    @property
+    def schedule_length(self) -> int:
+        """Number of slots (equals the number of links)."""
+        return self.schedule.length
+
+
+def naive_tdma_schedule(
+    links: Sequence[Link] | LinkSet, params: SINRParameters
+) -> NaiveTdmaResult:
+    """Assign every link its own slot, shortest links first."""
+    link_list = sorted(links, key=lambda link: (link.length, link.endpoint_ids))
+    longest = max((link.length for link in link_list), default=1.0)
+    power = UniformPower.for_max_length(params, max(longest, 1.0))
+    schedule = Schedule({link: index for index, link in enumerate(link_list)})
+    return NaiveTdmaResult(schedule=schedule, power=power)

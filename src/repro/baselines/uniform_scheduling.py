@@ -1,0 +1,67 @@
+"""Uniform-power scheduling baseline.
+
+Uniform power is what nodes are forced to use before they know anything about
+their neighbourhood, and it is provably weak for connectivity: the number of
+slots needed carries an unavoidable ``log Delta`` (indeed up to linear) factor
+on spread-out instances [21].  This baseline schedules a given link set with a
+single fixed power level via centralized first-fit; experiment F2 uses it to
+show the Delta-dependence the mean-power and power-control schedules avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..links import Link, LinkSet
+from ..sinr import PowerAssignment, SINRParameters, UniformPower
+from ..core.capacity import first_fit_schedule
+from ..core.schedule import Schedule
+
+__all__ = ["UniformSchedulingResult", "UniformScheduler"]
+
+
+@dataclass(frozen=True)
+class UniformSchedulingResult:
+    """Outcome of the uniform-power first-fit baseline.
+
+    Attributes:
+        schedule: the produced schedule.
+        power: the uniform power level used.
+    """
+
+    schedule: Schedule
+    power: PowerAssignment
+
+    @property
+    def schedule_length(self) -> int:
+        """Number of slots of the produced schedule."""
+        return self.schedule.length
+
+
+class UniformScheduler:
+    """Schedules a link set with one fixed power level (centralized first-fit).
+
+    Args:
+        params: physical-model parameters.
+        level: explicit power level; defaults to the smallest level that keeps
+            the longest link's cost at ``2 * beta`` (the natural choice when
+            the instance diameter is known).
+    """
+
+    def __init__(self, params: SINRParameters, level: float | None = None):
+        self.params = params
+        self.level = level
+
+    def schedule(self, links: Sequence[Link] | LinkSet) -> UniformSchedulingResult:
+        """Compute a uniform-power schedule of ``links``."""
+        link_list = list(links)
+        longest = max((link.length for link in link_list), default=1.0)
+        if self.level is not None:
+            power: PowerAssignment = UniformPower(self.level)
+        else:
+            power = UniformPower.for_max_length(self.params, max(longest, 1.0))
+        if not link_list:
+            return UniformSchedulingResult(Schedule(), power)
+        schedule = first_fit_schedule(link_list, power, self.params).normalized()
+        return UniformSchedulingResult(schedule=schedule, power=power)

@@ -1,0 +1,127 @@
+"""Algorithm constants.
+
+The paper proves its high-probability bounds with very conservative constants
+(for example ``lambda_1 = 80 / p**2`` slot-pairs per round and a broadcast
+probability ``p <= (64 * (1 + 6 * beta * 2**alpha / (alpha - 2)))**-1``).
+Those values make the constants in the O() bounds astronomically large and are
+never used in practice.  The library therefore separates the *shape* of the
+algorithms from the *constants* used to drive them:
+
+* :class:`PracticalConstants` - defaults tuned so the algorithms finish on a
+  laptop while preserving the asymptotic behaviour the experiments measure.
+* :class:`PaperConstants` - the literal values from the proofs, available for
+  anyone who wants to check that the algorithms still work (slowly) with them.
+
+Both are immutable dataclasses; algorithms accept either via the common
+:class:`AlgorithmConstants` interface (they are structurally identical).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "AlgorithmConstants",
+    "PracticalConstants",
+    "PaperConstants",
+    "paper_broadcast_probability",
+    "DEFAULT_CONSTANTS",
+]
+
+
+def paper_broadcast_probability(alpha: float, beta: float) -> float:
+    """Broadcast probability prescribed by Lemma 5 of the paper.
+
+    The proof of Lemma 5 requires ``p <= (64 * (1 + 6 * beta * 2**alpha /
+    (alpha - 2)))**-1`` so that the expected affectance on a candidate link is
+    at most 1/2.
+    """
+    if alpha <= 2:
+        raise ValueError(f"path-loss exponent alpha must exceed 2, got {alpha}")
+    return 1.0 / (64.0 * (1.0 + 6.0 * beta * 2.0**alpha / (alpha - 2.0)))
+
+
+@dataclass(frozen=True)
+class AlgorithmConstants:
+    """Tunable constants shared by the distributed algorithms.
+
+    Attributes:
+        broadcast_probability: per slot-pair probability ``p`` with which an
+            active node elects to broadcast during ``Init`` (Section 6).
+        ack_probability: probability with which a listener that successfully
+            received a broadcast answers with an acknowledgment.  The paper
+            uses ``p`` for both; exposing it separately helps experiments.
+        slot_pairs_per_round_factor: ``lambda_1`` - the number of slot-pairs
+            per round of ``Init`` is ``ceil(lambda_1 * log2(n))``.
+        min_slot_pairs_per_round: lower bound on slot-pairs per round so tiny
+            instances still mix.
+        degree_cap_rho: ``rho`` - the degree threshold defining the node set
+            ``M`` of Theorem 13 (nodes of degree at most ``rho``).
+        capacity_tau: ``tau`` - the admission threshold of the centralized
+            Kesselheim capacity condition (Eqn. 3); kept small so admitted
+            sets are power-controllable outright.
+        distr_cap_tau: the (looser) per-slot measurement threshold used by the
+            distributed ``Distr-Cap`` selection; the selected set's
+            feasibility is verified (and pruned if needed) afterwards, so a
+            larger value simply trades per-iteration progress against pruning.
+        duality_gamma: ``gamma_2`` - the constant relating a link's uniform
+            affectance to its dual's linear affectance (Claim 8.3).
+        selection_probability: transmission probability used by the sampling
+            steps of Sections 8.1 and 8.2 (``Distr-Cap`` phase transmissions
+            and mean-power sampling).
+        scheduling_base_probability: initial transmission probability of the
+            distributed contention scheduler (Section 7 substrate).
+        max_rounds_safety_factor: multiplies ``ceil(log2(Delta)) + 1`` to cap
+            the number of ``Init`` rounds in degenerate configurations.
+    """
+
+    broadcast_probability: float = 0.15
+    ack_probability: float = 0.75
+    slot_pairs_per_round_factor: float = 3.0
+    min_slot_pairs_per_round: int = 8
+    degree_cap_rho: int = 6
+    capacity_tau: float = 0.5
+    distr_cap_tau: float = 2.4
+    duality_gamma: float = 1.0
+    selection_probability: float = 0.45
+    scheduling_base_probability: float = 0.1
+    max_rounds_safety_factor: float = 2.0
+
+    def slot_pairs_per_round(self, n: int) -> int:
+        """Number of slot-pairs per ``Init`` round for an ``n``-node network."""
+        if n < 1:
+            raise ValueError(f"n must be positive, got {n}")
+        pairs = math.ceil(self.slot_pairs_per_round_factor * max(1.0, math.log2(max(n, 2))))
+        return max(self.min_slot_pairs_per_round, pairs)
+
+    def with_overrides(self, **kwargs: float) -> "AlgorithmConstants":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+class PracticalConstants(AlgorithmConstants):
+    """Default constants suitable for laptop-scale simulation."""
+
+
+def PaperConstants(alpha: float = 3.0, beta: float = 1.0) -> AlgorithmConstants:
+    """Constants matching the paper's proofs for the given SINR parameters.
+
+    These are enormously conservative; use only for small sanity experiments.
+    """
+    p = paper_broadcast_probability(alpha, beta)
+    return AlgorithmConstants(
+        broadcast_probability=p,
+        ack_probability=p,
+        slot_pairs_per_round_factor=80.0 / (p * p) / math.log2(math.e),
+        min_slot_pairs_per_round=1,
+        degree_cap_rho=int(math.ceil(160.0 / (p * p))),
+        capacity_tau=0.5,
+        distr_cap_tau=0.5,
+        duality_gamma=0.5,
+        selection_probability=p,
+        scheduling_base_probability=p,
+    )
+
+
+DEFAULT_CONSTANTS = AlgorithmConstants()

@@ -1,0 +1,245 @@
+"""Bi-trees: aggregation + dissemination trees sharing links and schedule.
+
+Definition 1 of the paper: a *bi-tree* is an aggregation tree (a convergecast
+tree whose schedule respects the leaf-to-root order) together with the
+complementary dissemination tree, which uses the same links in the opposite
+direction with the schedule reversed.  With a bi-tree, aggregation, broadcast
+and any pairwise communication complete within (twice) the schedule length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import networkx as nx
+
+from ..exceptions import ScheduleError
+from ..geometry import Node
+from ..links import Link, LinkSet
+from .schedule import Schedule
+
+__all__ = ["BiTree"]
+
+
+@dataclass
+class BiTree:
+    """A rooted spanning bi-tree over a set of wireless nodes.
+
+    Attributes:
+        nodes: mapping from node id to node, covering every spanned node.
+        root_id: id of the root (the last node to remain active).
+        parent: mapping from non-root node id to its parent's id.
+        aggregation_schedule: slot assignment of the child->parent links.
+    """
+
+    nodes: dict[int, Node]
+    root_id: int
+    parent: dict[int, int]
+    aggregation_schedule: Schedule = field(default_factory=Schedule)
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def from_parent_map(
+        cls,
+        nodes: Sequence[Node] | Iterable[Node],
+        root_id: int,
+        parent: Mapping[int, int],
+        slots: Mapping[int, int] | None = None,
+    ) -> "BiTree":
+        """Build a bi-tree from a parent map and optional per-node slot stamps.
+
+        Args:
+            nodes: all spanned nodes.
+            root_id: id of the root node.
+            parent: maps each non-root node id to its parent id.
+            slots: optional map from a non-root node id to the schedule slot of
+                its outgoing (child -> parent) link.  Nodes missing from the
+                map get slot 0.
+        """
+        node_map = {node.id: node for node in nodes}
+        if root_id not in node_map:
+            raise ScheduleError(f"root id {root_id} is not among the nodes")
+        schedule = Schedule()
+        for child_id, parent_id in parent.items():
+            if child_id not in node_map or parent_id not in node_map:
+                raise ScheduleError(f"parent map references unknown node ({child_id}->{parent_id})")
+            link = Link(node_map[child_id], node_map[parent_id])
+            slot = 0 if slots is None else int(slots.get(child_id, 0))
+            schedule.assign(link, slot)
+        return cls(
+            nodes=node_map,
+            root_id=root_id,
+            parent=dict(parent),
+            aggregation_schedule=schedule,
+        )
+
+    # -- basic structure ----------------------------------------------------
+
+    @property
+    def root(self) -> Node:
+        """The root node."""
+        return self.nodes[self.root_id]
+
+    @property
+    def size(self) -> int:
+        """Number of spanned nodes."""
+        return len(self.nodes)
+
+    def aggregation_links(self) -> LinkSet:
+        """The child -> parent links (the convergecast tree)."""
+        return self.aggregation_schedule.links()
+
+    def dissemination_links(self) -> LinkSet:
+        """The parent -> child links (the broadcast tree)."""
+        return self.aggregation_links().duals()
+
+    def all_links(self) -> LinkSet:
+        """Both directions of every tree edge."""
+        return self.aggregation_links().union(self.dissemination_links())
+
+    @property
+    def dissemination_schedule(self) -> Schedule:
+        """Schedule of the dissemination tree: same slots in reverse order."""
+        reversed_slots = self.aggregation_schedule.reversed()
+        return Schedule({link.dual: slot for link, slot in reversed_slots.items()})
+
+    def children(self, node_id: int) -> list[int]:
+        """Ids of the children of ``node_id``."""
+        return sorted(child for child, parent in self.parent.items() if parent == node_id)
+
+    def parent_of(self, node_id: int) -> int | None:
+        """Parent id of ``node_id`` (``None`` for the root)."""
+        if node_id == self.root_id:
+            return None
+        return self.parent.get(node_id)
+
+    def depth_of(self, node_id: int) -> int:
+        """Number of hops from ``node_id`` to the root.
+
+        Raises:
+            ScheduleError: if the parent chain does not reach the root (cycle
+                or disconnection).
+        """
+        depth = 0
+        current = node_id
+        visited = {current}
+        while current != self.root_id:
+            current = self.parent.get(current, None)
+            if current is None or current in visited:
+                raise ScheduleError(f"node {node_id} is not connected to the root")
+            visited.add(current)
+            depth += 1
+        return depth
+
+    def depth(self) -> int:
+        """Maximum node depth (tree height in hops)."""
+        return max((self.depth_of(node_id) for node_id in self.nodes), default=0)
+
+    def path_to_root(self, node_id: int) -> list[int]:
+        """Node ids on the path from ``node_id`` to the root, inclusive."""
+        path = [node_id]
+        while path[-1] != self.root_id:
+            nxt = self.parent.get(path[-1])
+            if nxt is None or nxt in path:
+                raise ScheduleError(f"node {node_id} is not connected to the root")
+            path.append(nxt)
+        return path
+
+    def subtree_nodes(self, node_id: int) -> set[int]:
+        """Ids of all descendants of ``node_id``, including itself."""
+        result = {node_id}
+        frontier = [node_id]
+        children_map: dict[int, list[int]] = {}
+        for child, parent in self.parent.items():
+            children_map.setdefault(parent, []).append(child)
+        while frontier:
+            current = frontier.pop()
+            for child in children_map.get(current, ()):
+                if child not in result:
+                    result.add(child)
+                    frontier.append(child)
+        return result
+
+    def degrees(self) -> dict[int, int]:
+        """Undirected tree degree of each node (children count + 1 for parent)."""
+        degree = {node_id: 0 for node_id in self.nodes}
+        for child, parent in self.parent.items():
+            degree[child] += 1
+            degree[parent] += 1
+        return degree
+
+    def max_degree(self) -> int:
+        """Largest undirected degree in the tree."""
+        return max(self.degrees().values(), default=0)
+
+    # -- graph views ---------------------------------------------------------
+
+    def to_digraph(self) -> nx.DiGraph:
+        """A networkx digraph containing both directions of every tree edge."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.nodes.keys())
+        for link in self.all_links():
+            graph.add_edge(link.sender.id, link.receiver.id, length=link.length)
+        return graph
+
+    def is_strongly_connected(self) -> bool:
+        """Whether the bidirectional link set strongly connects all nodes."""
+        if len(self.nodes) <= 1:
+            return True
+        return nx.is_strongly_connected(self.to_digraph())
+
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check the structural bi-tree invariants.
+
+        Raises:
+            ScheduleError: if the parent map is not a spanning in-tree rooted
+                at ``root_id`` or the schedule does not cover the tree links.
+        """
+        if self.root_id not in self.nodes:
+            raise ScheduleError("root id missing from node map")
+        if self.root_id in self.parent:
+            raise ScheduleError("root must not have a parent")
+        expected_children = set(self.nodes) - {self.root_id}
+        if set(self.parent) != expected_children:
+            missing = expected_children - set(self.parent)
+            extra = set(self.parent) - expected_children
+            raise ScheduleError(
+                f"parent map mismatch: missing={sorted(missing)[:5]} extra={sorted(extra)[:5]}"
+            )
+        for node_id in self.nodes:
+            self.depth_of(node_id)  # raises on cycles / disconnection
+        self.aggregation_schedule.validate_covers(
+            Link(self.nodes[c], self.nodes[p]) for c, p in self.parent.items()
+        )
+
+    def validate_aggregation_order(self) -> None:
+        """Check the aggregation-tree scheduling order.
+
+        Every link (x, y) must be scheduled strictly after every link whose
+        sender is a proper descendant of x.
+
+        Raises:
+            ScheduleError: when the order is violated.
+        """
+        for child_id, parent_id in self.parent.items():
+            link = Link(self.nodes[child_id], self.nodes[parent_id])
+            own_slot = self.aggregation_schedule.slot_of(link)
+            for descendant in self.subtree_nodes(child_id) - {child_id}:
+                descendant_parent = self.parent[descendant]
+                descendant_link = Link(self.nodes[descendant], self.nodes[descendant_parent])
+                descendant_slot = self.aggregation_schedule.slot_of(descendant_link)
+                if descendant_slot >= own_slot:
+                    raise ScheduleError(
+                        f"aggregation order violated: link {descendant_link.endpoint_ids} "
+                        f"(slot {descendant_slot}) must precede {link.endpoint_ids} (slot {own_slot})"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BiTree(n={self.size}, root={self.root_id}, "
+            f"schedule_length={self.aggregation_schedule.length})"
+        )

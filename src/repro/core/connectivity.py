@@ -1,0 +1,81 @@
+"""High-level facade over the paper's three results.
+
+:class:`ConnectivityProtocol` bundles the three algorithms a user typically
+wants, in increasing order of schedule quality (and construction effort):
+
+* :meth:`build_initial_tree` - Theorem 2: a bi-tree in ``O(log Delta log n)``
+  slots of construction, scheduled by its construction time stamps.
+* :meth:`reschedule_with_mean_power` - Theorem 3: the same tree rescheduled in
+  ``O(Upsilon log^3 n)`` slots under oblivious mean power.
+* :meth:`build_efficient_tree` - Theorem 4: a freshly built bi-tree scheduled
+  in ``O(log n)`` slots (arbitrary power) or ``O(Upsilon log n)`` slots (mean
+  power).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..constants import DEFAULT_CONSTANTS, AlgorithmConstants
+from ..geometry import Node
+from ..sinr import SINRParameters
+from .init_tree import InitialTreeBuilder, InitialTreeResult
+from .power_control import MeanPowerRescheduler, RescheduleResult
+from .tree_via_capacity import PowerMode, TreeViaCapacity, TreeViaCapacityResult
+
+__all__ = ["ConnectivityProtocol"]
+
+
+class ConnectivityProtocol:
+    """One-stop interface to the paper's distributed connectivity algorithms.
+
+    Args:
+        params: physical-model parameters shared by all algorithms.
+        constants: protocol constants shared by all algorithms.
+    """
+
+    def __init__(
+        self,
+        params: SINRParameters | None = None,
+        constants: AlgorithmConstants = DEFAULT_CONSTANTS,
+    ):
+        self.params = params if params is not None else SINRParameters()
+        self.constants = constants
+
+    def build_initial_tree(
+        self, nodes: Sequence[Node], rng: np.random.Generator
+    ) -> InitialTreeResult:
+        """Run ``Init`` (Theorem 2) and return the initial bi-tree."""
+        return InitialTreeBuilder(self.params, self.constants).build(nodes, rng)
+
+    def reschedule_with_mean_power(
+        self,
+        initial: InitialTreeResult,
+        rng: np.random.Generator,
+        *,
+        max_frames: int | None = None,
+    ) -> RescheduleResult:
+        """Reschedule the initial tree's links under mean power (Theorem 3)."""
+        rescheduler = MeanPowerRescheduler(self.params, self.constants)
+        return rescheduler.reschedule(
+            initial.tree.aggregation_links(), rng, max_frames=max_frames
+        )
+
+    def build_efficient_tree(
+        self,
+        nodes: Sequence[Node],
+        rng: np.random.Generator,
+        *,
+        power_mode: PowerMode = "arbitrary",
+        max_iterations: int | None = None,
+    ) -> TreeViaCapacityResult:
+        """Run ``TreeViaCapacity`` (Theorem 4) with the chosen power regime."""
+        framework = TreeViaCapacity(
+            self.params,
+            self.constants,
+            power_mode=power_mode,
+            max_iterations=max_iterations,
+        )
+        return framework.build(nodes, rng)

@@ -1,0 +1,102 @@
+"""Mean-power rescheduling of the initial tree (Section 7, Theorem 3).
+
+The tree ``T`` built by ``Init`` is O(log n)-sparse (Theorem 11); by the
+sparsity-to-amenability machinery of [11]/[14]/[10] it can be scheduled in
+``O(Upsilon * log^2 n)`` slots under the oblivious *mean* power assignment,
+and the distributed scheduling substrate loses at most another ``O(log n)``
+factor.  The recipe in the paper is exactly two lines: every sender switches
+to mean power for its tree links, then the links run the distributed
+scheduling algorithm.  This module packages that recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..constants import DEFAULT_CONSTANTS, AlgorithmConstants
+from ..links import Link, LinkSet
+from ..sinr import MeanPower, PowerAssignment, SINRParameters
+from .distributed_scheduling import DistributedScheduler
+from .schedule import Schedule
+
+__all__ = ["RescheduleResult", "MeanPowerRescheduler"]
+
+
+@dataclass(frozen=True)
+class RescheduleResult:
+    """Outcome of rescheduling a link set with mean power.
+
+    Attributes:
+        schedule: the new schedule of the same links.
+        power: the mean-power assignment used.
+        frames_elapsed: contention frames the distributed scheduler needed
+            (its running time, distinct from the schedule length).
+        slots_elapsed: channel slots consumed while computing the schedule.
+    """
+
+    schedule: Schedule
+    power: PowerAssignment
+    frames_elapsed: int
+    slots_elapsed: int
+
+    @property
+    def schedule_length(self) -> int:
+        """Number of slots of the produced schedule (the quantity in Thm. 3)."""
+        return self.schedule.length
+
+
+class MeanPowerRescheduler:
+    """Reschedules a link set under the oblivious mean power assignment.
+
+    Args:
+        params: physical-model parameters.
+        constants: protocol constants forwarded to the distributed scheduler.
+    """
+
+    def __init__(
+        self,
+        params: SINRParameters,
+        constants: AlgorithmConstants = DEFAULT_CONSTANTS,
+    ):
+        self.params = params
+        self.constants = constants
+
+    def mean_power_for(self, links: Sequence[Link] | LinkSet) -> MeanPower:
+        """The noise-safe mean power assignment for the given link set."""
+        link_list = list(links)
+        longest = max((link.length for link in link_list), default=1.0)
+        return MeanPower.for_max_length(self.params, max(longest, 1.0))
+
+    def reschedule(
+        self,
+        links: Sequence[Link] | LinkSet,
+        rng: np.random.Generator,
+        *,
+        power: PowerAssignment | None = None,
+        max_frames: int | None = None,
+    ) -> RescheduleResult:
+        """Compute a new schedule of ``links`` under mean power (Theorem 3).
+
+        Args:
+            links: the links to reschedule (typically the aggregation links of
+                the initial tree; the dissemination direction is symmetric).
+            rng: source of randomness.
+            power: override for the power assignment (defaults to noise-safe
+                mean power for the instance).
+            max_frames: contention-frame budget for the distributed scheduler.
+        """
+        link_list = list(links)
+        assignment = power if power is not None else self.mean_power_for(link_list)
+        if not link_list:
+            return RescheduleResult(Schedule(), assignment, 0, 0)
+        scheduler = DistributedScheduler(self.params, self.constants)
+        outcome = scheduler.schedule(link_list, assignment, rng, max_frames=max_frames)
+        return RescheduleResult(
+            schedule=outcome.schedule.normalized(),
+            power=assignment,
+            frames_elapsed=outcome.frames_elapsed,
+            slots_elapsed=outcome.slots_elapsed,
+        )

@@ -1,0 +1,44 @@
+"""Derived quantities used across the paper's bounds.
+
+``Upsilon = O(log log Delta + log n)`` is the known worst-case price of
+oblivious (mean) power relative to arbitrary power control; it appears in
+Theorems 3, 4 and 16.  ``log Delta`` bounds the number of length classes and
+thus the number of rounds of ``Init``.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["upsilon", "num_rounds_for_delta", "log2_safe"]
+
+
+def log2_safe(value: float, minimum: float = 1.0) -> float:
+    """``log2`` clamped from below so tiny instances do not yield zero/negative."""
+    return math.log2(max(value, 2.0)) if value > 0 else math.log2(max(minimum, 2.0))
+
+
+def upsilon(n: int, delta: float) -> float:
+    """The oblivious-power gap ``Upsilon = log log Delta + log n`` (base 2).
+
+    Args:
+        n: number of nodes.
+        delta: ratio of longest to shortest pairwise distance.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if delta < 1:
+        raise ValueError("delta must be at least 1")
+    loglog_delta = math.log2(max(2.0, math.log2(max(delta, 2.0))))
+    return loglog_delta + math.log2(max(n, 2))
+
+
+def num_rounds_for_delta(delta: float) -> int:
+    """Number of ``Init`` rounds needed to cover all link lengths up to ``delta``.
+
+    Round ``r`` (1-based) handles links with length in ``[2**(r-1), 2**r)``;
+    ``floor(log2(delta)) + 1`` rounds cover every possible link length.
+    """
+    if delta < 1:
+        raise ValueError("delta must be at least 1")
+    return int(math.floor(math.log2(delta))) + 1 if delta > 1 else 1

@@ -1,0 +1,166 @@
+"""Tree repair after node failures (the paper's "dynamic situations" extension).
+
+The paper's conclusion lists node failures as the natural next step.  This
+module implements the straightforward repair protocol the machinery already
+supports: when a set of nodes dies, every surviving subtree that lost its
+path to the root re-attaches by running ``Init`` again - but only among the
+*orphaned subtree roots* (plus the surviving root), so the repair cost scales
+with the damage, ``O(log Delta * log k)`` slots for ``k`` affected subtrees,
+not with the network size.
+
+The repaired structure is again a strongly connected spanning tree of the
+survivors and every newly added slot group is feasible under the recorded
+powers.  The leaf-to-root *ordering* of the original schedule is generally
+not preserved across the splice point; callers that need an aggregation-
+ordered schedule afterwards should reschedule (``MeanPowerRescheduler``) or
+rebuild (``TreeViaCapacity``) - both are cheap relative to reconstruction
+from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..constants import DEFAULT_CONSTANTS, AlgorithmConstants
+from ..exceptions import ProtocolError
+from ..sinr import ExplicitPower, SINRParameters
+from .bitree import BiTree
+from .init_tree import InitialTreeBuilder
+from .schedule import Schedule
+
+__all__ = ["RepairResult", "TreeRepairer"]
+
+
+@dataclass(frozen=True)
+class RepairResult:
+    """Outcome of repairing a bi-tree after node failures.
+
+    Attributes:
+        tree: the repaired spanning bi-tree over the surviving nodes.
+        power: per-link powers covering both old and newly formed links.
+        slots_used: channel slots spent by the repair protocol.
+        failed: ids of the nodes that were removed.
+        reattached: ids of the orphaned subtree roots that re-attached.
+        root_changed: whether the repair elected a new root.
+    """
+
+    tree: BiTree
+    power: ExplicitPower
+    slots_used: int
+    failed: frozenset[int]
+    reattached: frozenset[int]
+    root_changed: bool
+
+
+class TreeRepairer:
+    """Repairs a bi-tree after a set of nodes fails.
+
+    Args:
+        params: physical-model parameters.
+        constants: protocol constants forwarded to the ``Init`` re-run.
+    """
+
+    def __init__(
+        self,
+        params: SINRParameters,
+        constants: AlgorithmConstants = DEFAULT_CONSTANTS,
+    ):
+        self.params = params
+        self.constants = constants
+
+    def repair(
+        self,
+        tree: BiTree,
+        power: ExplicitPower,
+        failed_ids: Iterable[int],
+        rng: np.random.Generator,
+    ) -> RepairResult:
+        """Remove the failed nodes and re-attach every orphaned subtree.
+
+        Args:
+            tree: the existing bi-tree.
+            power: the powers recorded for the existing tree links (both
+                directions); the repaired tree reuses them for surviving links.
+            failed_ids: ids of the nodes that failed.
+            rng: source of randomness for the ``Init`` re-run.
+
+        Raises:
+            ProtocolError: if every node failed, or a failed id is unknown.
+        """
+        failed = frozenset(int(node_id) for node_id in failed_ids)
+        unknown = failed - set(tree.nodes)
+        if unknown:
+            raise ProtocolError(f"unknown node ids in failure set: {sorted(unknown)[:5]}")
+        survivors = {node_id: node for node_id, node in tree.nodes.items() if node_id not in failed}
+        if not survivors:
+            raise ProtocolError("all nodes failed; nothing to repair")
+
+        # Surviving parent pointers, dropping every link that touches a failure.
+        parent = {
+            child: parent_id
+            for child, parent_id in tree.parent.items()
+            if child not in failed and parent_id not in failed
+        }
+        slots = {
+            child: tree.aggregation_schedule.slot_of(
+                next(l for l in tree.aggregation_links() if l.endpoint_ids == (child, parent_id))
+            )
+            for child, parent_id in parent.items()
+        }
+
+        # Orphaned subtree roots: survivors with no surviving parent pointer
+        # that are not the (surviving) old root.
+        old_root_alive = tree.root_id not in failed
+        orphans = [
+            node_id
+            for node_id in survivors
+            if node_id not in parent and not (old_root_alive and node_id == tree.root_id)
+        ]
+
+        power_map = dict(power.as_dict())
+        if not orphans:
+            repaired = BiTree.from_parent_map(list(survivors.values()), tree.root_id, parent, slots)
+            return RepairResult(
+                tree=repaired,
+                power=ExplicitPower(power_map, fallback=power),
+                slots_used=0,
+                failed=failed,
+                reattached=frozenset(),
+                root_changed=False,
+            )
+
+        participants = [survivors[node_id] for node_id in orphans]
+        if old_root_alive:
+            participants.append(survivors[tree.root_id])
+
+        builder = InitialTreeBuilder(self.params, self.constants)
+        patch = builder.build(participants, rng)
+
+        # Splice the patch: its links re-attach orphan subtree roots; stamps
+        # are shifted past the existing schedule so they occupy fresh slots.
+        offset = tree.aggregation_schedule.span + 1
+        for link, slot in patch.tree.aggregation_schedule.items():
+            parent[link.sender.id] = link.receiver.id
+            slots[link.sender.id] = slot + offset
+            power_map[link.endpoint_ids] = patch.power.power(link)
+            power_map[link.dual.endpoint_ids] = patch.power.power(link.dual)
+
+        # The patch's root is the node that stayed active in the re-run: if it
+        # is the surviving old root the global root is unchanged, otherwise
+        # the old root (or the orphans) now hang off the patch's root.
+        if old_root_alive and patch.tree.root_id == tree.root_id:
+            global_root = tree.root_id
+        else:
+            global_root = patch.tree.root_id
+        repaired = BiTree.from_parent_map(list(survivors.values()), global_root, parent, slots)
+        return RepairResult(
+            tree=repaired,
+            power=ExplicitPower(power_map, fallback=power),
+            slots_used=patch.slots_used,
+            failed=failed,
+            reattached=frozenset(orphans),
+            root_changed=global_root != tree.root_id,
+        )

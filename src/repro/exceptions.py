@@ -1,0 +1,35 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed with inconsistent parameters."""
+
+
+class DeploymentError(ReproError):
+    """Raised when a node deployment cannot be generated as requested."""
+
+
+class InfeasiblePowerError(ReproError):
+    """Raised when no power assignment can make a link set feasible."""
+
+
+class ScheduleError(ReproError):
+    """Raised when a schedule violates feasibility or ordering constraints."""
+
+
+class ProtocolError(ReproError):
+    """Raised when a distributed protocol reaches an invalid state."""
+
+
+class ConvergenceError(ReproError):
+    """Raised when an iterative algorithm fails to converge within its budget."""

@@ -1,0 +1,52 @@
+"""E1 - Theorem 2: ``Init`` builds a bi-tree in O(log Delta * log n) slots."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core import InitialTreeBuilder
+from .config import ExperimentConfig
+from .runner import ExperimentResult, make_deployment
+
+__all__ = ["run"]
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Measure Init's slot count and structural guarantees across sizes."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="E1",
+        title="Init builds a strongly connected bi-tree in O(log Delta * log n) slots (Thm 2)",
+    )
+    builder = InitialTreeBuilder(config.params, config.constants)
+    ratios = []
+    for n, seed in config.trials():
+        nodes = make_deployment(config, n, seed)
+        rng = np.random.default_rng(1000 + seed)
+        outcome = builder.build(nodes, rng)
+        outcome.tree.validate()
+        bound = math.log2(max(outcome.delta, 2.0)) * math.log2(max(n, 2))
+        ratio = outcome.slots_used / bound
+        ratios.append(ratio)
+        result.rows.append(
+            {
+                "n": n,
+                "seed": seed,
+                "delta": round(outcome.delta, 1),
+                "slots": outcome.slots_used,
+                "rounds": outcome.rounds_used,
+                "sweeps": outcome.sweeps_used,
+                "logD_logn": round(bound, 1),
+                "slots_per_logD_logn": round(ratio, 2),
+                "strongly_connected": outcome.tree.is_strongly_connected(),
+                "schedule_len": outcome.tree.aggregation_schedule.length,
+            }
+        )
+    result.summary = {
+        "mean_slots_per_logD_logn": round(float(np.mean(ratios)), 2),
+        "max_slots_per_logD_logn": round(float(np.max(ratios)), 2),
+        "all_strongly_connected": all(row["strongly_connected"] for row in result.rows),
+    }
+    return result

@@ -1,0 +1,49 @@
+"""E2 - Theorem 7: the tree built by ``Init`` has maximum degree O(log n)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..analysis import degree_statistics
+from ..core import InitialTreeBuilder
+from .config import ExperimentConfig
+from .runner import ExperimentResult, make_deployment
+
+__all__ = ["run"]
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Measure the degree distribution of the Init tree across sizes."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="E2",
+        title="Init tree max degree is O(log n) with exponential tail (Thm 7)",
+    )
+    builder = InitialTreeBuilder(config.params, config.constants)
+    ratios = []
+    for n, seed in config.trials():
+        nodes = make_deployment(config, n, seed)
+        rng = np.random.default_rng(2000 + seed)
+        outcome = builder.build(nodes, rng)
+        stats = degree_statistics(outcome.tree)
+        stored_max = max(outcome.stored_degrees.values(), default=0)
+        log_n = math.log2(max(n, 2))
+        ratios.append(stats.max_degree / log_n)
+        result.rows.append(
+            {
+                "n": n,
+                "seed": seed,
+                "max_degree": stats.max_degree,
+                "mean_degree": round(stats.mean_degree, 2),
+                "stored_max_degree": stored_max,
+                "log2_n": round(log_n, 1),
+                "max_degree_per_log_n": round(stats.max_degree / log_n, 2),
+            }
+        )
+    result.summary = {
+        "mean_max_degree_per_log_n": round(float(np.mean(ratios)), 2),
+        "max_max_degree_per_log_n": round(float(np.max(ratios)), 2),
+    }
+    return result

@@ -1,0 +1,47 @@
+"""E3 - Theorem 11: the tree built by ``Init`` is O(log n)-sparse."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..analysis import tree_sparsity
+from ..core import InitialTreeBuilder
+from .config import ExperimentConfig
+from .runner import ExperimentResult, make_deployment
+
+__all__ = ["run"]
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Measure the psi-sparsity (Definition 8) of the Init tree across sizes."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="E3",
+        title="Init tree is O(log n)-sparse under Definition 8 (Thm 11)",
+    )
+    builder = InitialTreeBuilder(config.params, config.constants)
+    ratios = []
+    for n, seed in config.trials():
+        nodes = make_deployment(config, n, seed)
+        rng = np.random.default_rng(3000 + seed)
+        outcome = builder.build(nodes, rng)
+        psi = tree_sparsity(outcome.tree)
+        log_n = math.log2(max(n, 2))
+        ratios.append(psi / log_n)
+        result.rows.append(
+            {
+                "n": n,
+                "seed": seed,
+                "delta": round(outcome.delta, 1),
+                "sparsity_psi": psi,
+                "log2_n": round(log_n, 1),
+                "psi_per_log_n": round(psi / log_n, 2),
+            }
+        )
+    result.summary = {
+        "mean_psi_per_log_n": round(float(np.mean(ratios)), 2),
+        "max_psi_per_log_n": round(float(np.max(ratios)), 2),
+    }
+    return result

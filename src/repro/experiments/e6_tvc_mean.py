@@ -1,0 +1,50 @@
+"""E6 - Theorem 16: ``TreeViaCapacity`` with mean power schedules a bi-tree in
+O(Upsilon * log n) slots."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..core import TreeViaCapacity, upsilon
+from .config import ExperimentConfig
+from .runner import ExperimentResult, make_deployment
+
+__all__ = ["run"]
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Measure the mean-power TreeViaCapacity schedule length across sizes."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="E6",
+        title="TreeViaCapacity + mean power: O(Upsilon log n)-slot bi-tree (Thm 16)",
+    )
+    framework = TreeViaCapacity(config.params, config.constants, power_mode="mean")
+    ratios = []
+    for n, seed in config.trials():
+        nodes = make_deployment(config, n, seed)
+        rng = np.random.default_rng(6000 + seed)
+        outcome = framework.build(nodes, rng)
+        log_n = math.log2(max(n, 2))
+        ups = upsilon(n, max(outcome.delta, 1.0))
+        ratios.append(outcome.schedule_length / (ups * log_n))
+        result.rows.append(
+            {
+                "n": n,
+                "seed": seed,
+                "delta": round(outcome.delta, 1),
+                "schedule_len": outcome.schedule_length,
+                "upsilon": round(ups, 1),
+                "len_per_upsilon_log_n": round(outcome.schedule_length / (ups * log_n), 3),
+                "len_per_log_n": round(outcome.schedule_length / log_n, 2),
+                "aggregation_feasible": outcome.aggregation_feasible,
+                "construction_slots": outcome.construction_slots,
+            }
+        )
+    result.summary = {
+        "mean_len_per_upsilon_log_n": round(float(np.mean(ratios)), 3),
+        "all_feasible": all(row["aggregation_feasible"] for row in result.rows),
+    }
+    return result

@@ -1,0 +1,53 @@
+"""E7 - Theorem 13: the degree-bounded subset ``T(M)`` is O(1)-sparse and
+captures a constant fraction of the tree."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import InitialTreeBuilder, degree_bounded_subset
+from ..links import sparsity
+from .config import ExperimentConfig
+from .runner import ExperimentResult, make_deployment
+
+__all__ = ["run"]
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Measure |T(M)| / |T| and the sparsity of T(M) across sizes."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="E7",
+        title="Degree-bounded subset T(M): O(1)-sparse, constant fraction of T (Thm 13)",
+    )
+    builder = InitialTreeBuilder(config.params, config.constants)
+    fractions = []
+    sparsities = []
+    for n, seed in config.trials():
+        nodes = make_deployment(config, n, seed)
+        rng = np.random.default_rng(7000 + seed)
+        outcome = builder.build(nodes, rng)
+        tree_links = outcome.tree.aggregation_links()
+        subset = degree_bounded_subset(tree_links, config.constants.degree_cap_rho)
+        tree_psi = sparsity(tree_links).psi
+        subset_psi = sparsity(subset.subset).psi
+        fractions.append(subset.fraction)
+        sparsities.append(subset_psi)
+        result.rows.append(
+            {
+                "n": n,
+                "seed": seed,
+                "rho": subset.rho,
+                "tree_links": len(tree_links),
+                "tm_links": len(subset.subset),
+                "fraction": round(subset.fraction, 2),
+                "tree_sparsity": tree_psi,
+                "tm_sparsity": subset_psi,
+            }
+        )
+    result.summary = {
+        "min_fraction": round(float(np.min(fractions)), 2),
+        "mean_fraction": round(float(np.mean(fractions)), 2),
+        "max_tm_sparsity": int(np.max(sparsities)),
+    }
+    return result

@@ -1,0 +1,82 @@
+"""F1 - headline comparison: distributed structures match centralized quality.
+
+For every network size, compares the schedule lengths of:
+
+* the Init tree's construction time stamps (the naive schedule),
+* centralized uniform-power first-fit over the same links,
+* the distributed mean-power reschedule (Theorem 3),
+* TreeViaCapacity with mean power (Theorem 16),
+* TreeViaCapacity with arbitrary power (Theorem 4/21),
+* the centralized MST baseline ([11]-style),
+* naive one-link-per-slot TDMA (upper anchor).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines import CentralizedMSTBaseline, UniformScheduler, naive_tdma_schedule
+from ..core import InitialTreeBuilder, MeanPowerRescheduler, TreeViaCapacity
+from .config import ExperimentConfig
+from .runner import ExperimentResult, average_rows, make_deployment
+
+__all__ = ["run"]
+
+_METHOD_FIELDS = (
+    "init_stamps",
+    "uniform_ff",
+    "mean_reschedule",
+    "tvc_mean",
+    "tvc_arbitrary",
+    "centralized_mst",
+    "naive_tdma",
+)
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Compare schedule lengths across all methods and sizes."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="F1",
+        title="Schedule-length comparison across methods (distributed vs centralized)",
+    )
+    builder = InitialTreeBuilder(config.params, config.constants)
+    rescheduler = MeanPowerRescheduler(config.params, config.constants)
+    uniform = UniformScheduler(config.params)
+    centralized = CentralizedMSTBaseline(config.params, power_scheme="mean")
+    tvc_arbitrary = TreeViaCapacity(config.params, config.constants, power_mode="arbitrary")
+    tvc_mean = TreeViaCapacity(config.params, config.constants, power_mode="mean")
+
+    raw_rows = []
+    for n, seed in config.trials():
+        nodes = make_deployment(config, n, seed)
+        rng = np.random.default_rng(11000 + seed)
+        init_outcome = builder.build(nodes, rng)
+        links = init_outcome.tree.aggregation_links()
+        row = {
+            "n": n,
+            "seed": seed,
+            "init_stamps": init_outcome.tree.aggregation_schedule.length,
+            "uniform_ff": uniform.schedule(links).schedule_length,
+            "mean_reschedule": rescheduler.reschedule(links, rng).schedule_length,
+            "tvc_mean": tvc_mean.build(nodes, rng).schedule_length,
+            "tvc_arbitrary": tvc_arbitrary.build(nodes, rng).schedule_length,
+            "centralized_mst": centralized.build(nodes).schedule_length,
+            "naive_tdma": naive_tdma_schedule(links, config.params).schedule_length,
+        }
+        raw_rows.append(row)
+    result.rows = average_rows(raw_rows, "n", _METHOD_FIELDS)
+
+    arbitrary_vs_centralized = [
+        row["tvc_arbitrary"] / max(row["centralized_mst"], 1) for row in result.rows
+    ]
+    arbitrary_vs_tdma = [row["tvc_arbitrary"] / max(row["naive_tdma"], 1) for row in result.rows]
+    result.summary = {
+        "tvc_arbitrary_over_centralized": round(float(np.mean(arbitrary_vs_centralized)), 2),
+        "tvc_arbitrary_over_tdma": round(float(np.mean(arbitrary_vs_tdma)), 2),
+        "ordering_expected": all(
+            row["tvc_arbitrary"] <= row["naive_tdma"] and row["mean_reschedule"] <= row["naive_tdma"]
+            for row in result.rows
+        ),
+    }
+    return result

@@ -1,0 +1,89 @@
+"""F2 - Delta dependence: who pays for a large distance spread.
+
+At a fixed network size, two-scale deployments push the distance ratio Delta
+up to 1e8.  The construction cost of ``Init`` and any uniform-power schedule
+grow with ``log Delta``; the mean-power schedules should only feel
+``log log Delta``; power-controlled TreeViaCapacity schedules should be flat.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..baselines import UniformScheduler
+from ..core import InitialTreeBuilder, MeanPowerRescheduler, TreeViaCapacity, first_fit_schedule, upsilon
+from ..geometry import two_scale
+from ..sinr import MeanPower
+from .config import ExperimentConfig
+from .runner import ExperimentResult, average_rows
+
+__all__ = ["run"]
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Sweep Delta at fixed n and record schedule lengths per method."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="F2",
+        title="Delta dependence of construction cost and schedule length",
+    )
+    n = config.delta_sweep_size
+    builder = InitialTreeBuilder(config.params, config.constants)
+    rescheduler = MeanPowerRescheduler(config.params, config.constants)
+    uniform = UniformScheduler(config.params)
+    tvc_arbitrary = TreeViaCapacity(config.params, config.constants, power_mode="arbitrary")
+
+    raw_rows = []
+    for delta_target in config.delta_targets:
+        for seed in config.seeds:
+            rng = np.random.default_rng(12000 + seed)
+            nodes = two_scale(n, rng, delta_target=delta_target)
+            init_outcome = builder.build(nodes, rng)
+            links = init_outcome.tree.aggregation_links()
+            mean_power = MeanPower.for_max_length(config.params, max(init_outcome.delta, 1.0))
+            tvc_outcome = tvc_arbitrary.build(nodes, rng)
+            raw_rows.append(
+                {
+                    "delta_target": float(delta_target),
+                    "seed": seed,
+                    "realized_delta": round(init_outcome.delta, 1),
+                    "log2_delta": round(math.log2(max(init_outcome.delta, 2.0)), 1),
+                    "upsilon": round(upsilon(n, max(init_outcome.delta, 1.0)), 1),
+                    "init_construction_slots": init_outcome.slots_used,
+                    "init_stamps_len": init_outcome.tree.aggregation_schedule.length,
+                    "uniform_ff_len": uniform.schedule(links).schedule_length,
+                    "mean_ff_len": first_fit_schedule(links, mean_power, config.params).length,
+                    "mean_reschedule_len": rescheduler.reschedule(links, rng).schedule_length,
+                    "tvc_arbitrary_len": tvc_outcome.schedule_length,
+                }
+            )
+    fields = (
+        "realized_delta",
+        "log2_delta",
+        "upsilon",
+        "init_construction_slots",
+        "init_stamps_len",
+        "uniform_ff_len",
+        "mean_ff_len",
+        "mean_reschedule_len",
+        "tvc_arbitrary_len",
+    )
+    result.rows = average_rows(raw_rows, "delta_target", fields)
+
+    smallest = result.rows[0]
+    largest = result.rows[-1]
+    result.summary = {
+        "n": n,
+        "init_slots_growth": round(
+            largest["init_construction_slots"] / max(smallest["init_construction_slots"], 1), 2
+        ),
+        "tvc_arbitrary_growth": round(
+            largest["tvc_arbitrary_len"] / max(smallest["tvc_arbitrary_len"], 1), 2
+        ),
+        "mean_reschedule_growth": round(
+            largest["mean_reschedule_len"] / max(smallest["mean_reschedule_len"], 1), 2
+        ),
+    }
+    return result

@@ -1,0 +1,71 @@
+"""F3 - the uniform-power lower-bound instance (exponential chain).
+
+The paper's motivation (citing Moscibroda-Wattenhofer [21]) is that fixed
+uniform power may need up to a linear number of slots to connect spread-out
+instances, which is why non-trivial power assignment is essential.  The
+canonical witness is the exponential chain: node ``i`` at distance ``2**i``
+from the origin, so every link lives in its own length class.  Under uniform
+power essentially every link needs its own slot, while mean power and power
+control pack them aggressively.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..baselines import UniformScheduler, naive_tdma_schedule
+from ..core import TreeViaCapacity, first_fit_schedule
+from ..geometry import exponential_chain
+from ..links import Link, LinkSet
+from ..sinr import MeanPower
+from .config import ExperimentConfig
+from .runner import ExperimentResult
+
+__all__ = ["run"]
+
+
+def _chain_links(nodes) -> LinkSet:
+    """The natural spanning chain: each node links to its nearer neighbour."""
+    ordered = sorted(nodes, key=lambda node: node.x)
+    return LinkSet(Link(ordered[i + 1], ordered[i]) for i in range(len(ordered) - 1))
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Compare schedules of exponential chains under the three power regimes."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="F3",
+        title="Uniform-power worst case: exponential chain needs ~1 slot per link",
+    )
+    sizes = tuple(min(size, 28) for size in config.sizes)  # Delta = 2**(n-1): keep it finite
+    uniform = UniformScheduler(config.params)
+    tvc = TreeViaCapacity(config.params, config.constants, power_mode="arbitrary")
+    for n in sorted(set(sizes)):
+        nodes = exponential_chain(n)
+        links = _chain_links(nodes)
+        delta = 2.0 ** (n - 1)
+        mean_power = MeanPower.for_max_length(config.params, delta)
+        rng = np.random.default_rng(13000 + n)
+        tvc_outcome = tvc.build(nodes, rng)
+        result.rows.append(
+            {
+                "n": n,
+                "delta": delta,
+                "links": len(links),
+                "uniform_ff_len": uniform.schedule(links).schedule_length,
+                "mean_ff_len": first_fit_schedule(links, mean_power, config.params).length,
+                "tvc_arbitrary_len": tvc_outcome.schedule_length,
+                "naive_tdma_len": naive_tdma_schedule(links, config.params).schedule_length,
+            }
+        )
+    largest = result.rows[-1]
+    result.summary = {
+        "uniform_slots_per_link_at_max_n": round(
+            largest["uniform_ff_len"] / max(largest["links"], 1), 2
+        ),
+        "tvc_arbitrary_vs_uniform": round(
+            largest["tvc_arbitrary_len"] / max(largest["uniform_ff_len"], 1), 2
+        ),
+        "uniform_matches_tdma": largest["uniform_ff_len"] >= 0.8 * largest["naive_tdma_len"],
+    }
+    return result

@@ -1,0 +1,327 @@
+"""Node deployment generators.
+
+The paper's results are worst-case over node placements; the experiments need
+a range of deployments that stress different aspects of the bounds:
+
+* :func:`uniform_random` - the standard "n points in a square" workload that
+  the introduction's motivating scenarios (sensor fields, ad-hoc networks)
+  imply.  Delta grows like ``sqrt(n)``.
+* :func:`grid` - perfectly regular placement, the friendliest case.
+* :func:`clustered` - dense clusters separated by large gaps; moderate Delta
+  with highly non-uniform density.
+* :func:`two_scale` - a small dense core plus a handful of far-away outliers.
+  This drives Delta up to arbitrary values at fixed n and is the workload for
+  the Delta-sweep experiment (F2): it separates uniform-power schedules (which
+  pay ``log Delta``), mean-power schedules (``log log Delta``) and arbitrary
+  power (Delta-independent).
+* :func:`exponential_chain` - node i at distance ``2**i`` from the origin, the
+  classical nightmare instance for uniform power (Moscibroda-Wattenhofer).
+
+All generators return nodes whose minimum pairwise distance is at least
+``min_separation`` (default 1.0, the paper's normalization) and take an
+explicit ``numpy.random.Generator`` so experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..exceptions import DeploymentError
+from .node import Node, nodes_from_points
+from .point import Point, distance_ratio, min_pairwise_distance
+
+__all__ = [
+    "uniform_random",
+    "grid",
+    "clustered",
+    "two_scale",
+    "exponential_chain",
+    "linear_chain",
+    "deployment_by_name",
+    "DEPLOYMENT_GENERATORS",
+]
+
+_MAX_REJECTION_ROUNDS = 200
+
+
+def _require_positive(n: int) -> None:
+    if n < 1:
+        raise DeploymentError(f"number of nodes must be positive, got {n}")
+
+
+def _poisson_disc_filter(
+    candidates: np.ndarray, min_separation: float, target: int
+) -> list[Point]:
+    """Greedy filter keeping points pairwise separated by ``min_separation``."""
+    kept: list[Point] = []
+    cell = min_separation / math.sqrt(2.0)
+    buckets: dict[tuple[int, int], list[Point]] = {}
+    for x, y in candidates:
+        p = Point(float(x), float(y))
+        cx, cy = int(math.floor(p.x / cell)), int(math.floor(p.y / cell))
+        ok = True
+        for ix in range(cx - 2, cx + 3):
+            for iy in range(cy - 2, cy + 3):
+                for q in buckets.get((ix, iy), ()):
+                    if p.distance_to(q) < min_separation:
+                        ok = False
+                        break
+                if not ok:
+                    break
+            if not ok:
+                break
+        if ok:
+            kept.append(p)
+            buckets.setdefault((cx, cy), []).append(p)
+            if len(kept) == target:
+                return kept
+    return kept
+
+
+def uniform_random(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    side: float | None = None,
+    min_separation: float = 1.0,
+) -> list[Node]:
+    """Uniformly random nodes in a square with minimum separation.
+
+    Args:
+        n: number of nodes.
+        rng: source of randomness.
+        side: side length of the deployment square.  Defaults to
+            ``4 * sqrt(n) * min_separation`` which keeps the packing loose
+            enough that rejection sampling succeeds quickly.
+        min_separation: lower bound on pairwise distances (paper normalizes
+            this to 1).
+
+    Raises:
+        DeploymentError: if a valid placement cannot be found.
+    """
+    _require_positive(n)
+    if side is None:
+        side = 4.0 * math.sqrt(float(n)) * min_separation
+    if side <= 0:
+        raise DeploymentError("side must be positive")
+    points: list[Point] = []
+    for _ in range(_MAX_REJECTION_ROUNDS):
+        needed = n - len(points)
+        candidates = rng.uniform(0.0, side, size=(max(4 * needed, 64), 2))
+        existing = points
+        merged = _poisson_disc_filter(
+            np.concatenate(
+                [np.array([[p.x, p.y] for p in existing]).reshape(-1, 2), candidates]
+            ),
+            min_separation,
+            n,
+        )
+        points = merged
+        if len(points) >= n:
+            return nodes_from_points(points[:n])
+    raise DeploymentError(
+        f"could not place {n} nodes with separation {min_separation} in a "
+        f"{side:.1f} x {side:.1f} square; increase `side`"
+    )
+
+
+def grid(
+    n: int,
+    rng: np.random.Generator | None = None,
+    *,
+    spacing: float = 1.0,
+    jitter: float = 0.0,
+) -> list[Node]:
+    """Nodes on a (nearly) square grid with optional positional jitter.
+
+    Args:
+        n: number of nodes.
+        rng: required only when ``jitter > 0``.
+        spacing: grid spacing.
+        jitter: maximum uniform perturbation applied to each coordinate,
+            capped below ``spacing / 2`` to preserve a positive separation.
+    """
+    _require_positive(n)
+    if spacing <= 0:
+        raise DeploymentError("spacing must be positive")
+    if jitter < 0 or jitter >= spacing / 2.0:
+        if jitter != 0.0:
+            raise DeploymentError("jitter must lie in [0, spacing / 2)")
+    cols = int(math.ceil(math.sqrt(n)))
+    points: list[Point] = []
+    for index in range(n):
+        row, col = divmod(index, cols)
+        x = col * spacing
+        y = row * spacing
+        if jitter > 0:
+            if rng is None:
+                raise DeploymentError("rng is required when jitter > 0")
+            x += float(rng.uniform(-jitter, jitter))
+            y += float(rng.uniform(-jitter, jitter))
+        points.append(Point(x, y))
+    return nodes_from_points(points)
+
+
+def clustered(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    clusters: int = 4,
+    cluster_radius: float | None = None,
+    cluster_spread: float | None = None,
+    min_separation: float = 1.0,
+) -> list[Node]:
+    """Nodes grouped into well-separated dense clusters.
+
+    Args:
+        n: total number of nodes.
+        rng: source of randomness.
+        clusters: number of cluster centers.
+        cluster_radius: radius of each cluster; defaults to
+            ``3 * sqrt(n / clusters) * min_separation``.
+        cluster_spread: side of the square in which cluster centers are
+            placed; defaults to ``20 * clusters * cluster_radius``.
+        min_separation: lower bound on pairwise distances.
+    """
+    _require_positive(n)
+    if clusters < 1:
+        raise DeploymentError("clusters must be positive")
+    clusters = min(clusters, n)
+    per_cluster = n / clusters
+    if cluster_radius is None:
+        cluster_radius = 3.0 * math.sqrt(per_cluster) * min_separation
+    if cluster_spread is None:
+        cluster_spread = 20.0 * clusters * cluster_radius
+    centers = rng.uniform(0.0, cluster_spread, size=(clusters, 2))
+    points: list[Point] = []
+    for _ in range(_MAX_REJECTION_ROUNDS):
+        needed = n - len(points)
+        if needed <= 0:
+            break
+        assignment = rng.integers(0, clusters, size=4 * needed + 64)
+        offsets = rng.uniform(-cluster_radius, cluster_radius, size=(assignment.size, 2))
+        candidates = centers[assignment] + offsets
+        existing = np.array([[p.x, p.y] for p in points]).reshape(-1, 2)
+        points = _poisson_disc_filter(
+            np.concatenate([existing, candidates]), min_separation, n
+        )
+    if len(points) < n:
+        raise DeploymentError("could not place clustered deployment; relax parameters")
+    return nodes_from_points(points[:n])
+
+
+def two_scale(
+    n: int,
+    rng: np.random.Generator,
+    *,
+    delta_target: float = 1.0e4,
+    outliers: int = 4,
+    min_separation: float = 1.0,
+) -> list[Node]:
+    """A dense core plus far outliers, targeting a given distance ratio Delta.
+
+    The core holds ``n - outliers`` nodes placed as in :func:`uniform_random`;
+    the remaining ``outliers`` nodes are placed on a distant arc at distance
+    roughly ``delta_target * min_separation`` from the core so that the
+    realized Delta is close to ``delta_target``.
+
+    Args:
+        n: total number of nodes (must exceed ``outliers``).
+        rng: source of randomness.
+        delta_target: desired ratio of longest to shortest pairwise distance.
+        outliers: number of far-away nodes.
+        min_separation: lower bound on pairwise distances.
+    """
+    _require_positive(n)
+    if outliers < 1 or outliers >= n:
+        raise DeploymentError("outliers must be in [1, n)")
+    if delta_target <= 2.0:
+        raise DeploymentError("delta_target must exceed 2")
+    core = uniform_random(n - outliers, rng, min_separation=min_separation)
+    far = delta_target * min_separation
+    points = [node.position for node in core]
+    for k in range(outliers):
+        angle = 2.0 * math.pi * k / outliers
+        radius = far * (1.0 + 0.05 * k)
+        points.append(Point(radius * math.cos(angle), radius * math.sin(angle)))
+    return nodes_from_points(points)
+
+
+def exponential_chain(
+    n: int,
+    rng: np.random.Generator | None = None,
+    *,
+    base: float = 2.0,
+    min_separation: float = 1.0,
+) -> list[Node]:
+    """Nodes on a line at exponentially growing distances.
+
+    Node ``i`` sits at ``x = min_separation * base**i``.  This is the
+    classical worst case for uniform-power connectivity (Delta = base**(n-1))
+    and the instance family behind the paper's log-Delta lower-bound
+    discussion.
+    """
+    _require_positive(n)
+    if base <= 1.0:
+        raise DeploymentError("base must exceed 1")
+    points = [Point(min_separation * base**i, 0.0) for i in range(n)]
+    return nodes_from_points(points)
+
+
+def linear_chain(
+    n: int,
+    rng: np.random.Generator | None = None,
+    *,
+    spacing: float = 1.0,
+) -> list[Node]:
+    """Nodes evenly spaced on a line (Delta = n - 1)."""
+    _require_positive(n)
+    if spacing <= 0:
+        raise DeploymentError("spacing must be positive")
+    return nodes_from_points([Point(i * spacing, 0.0) for i in range(n)])
+
+
+DEPLOYMENT_GENERATORS: dict[str, Callable[..., list[Node]]] = {
+    "uniform": uniform_random,
+    "grid": grid,
+    "clustered": clustered,
+    "two_scale": two_scale,
+    "exponential_chain": exponential_chain,
+    "linear_chain": linear_chain,
+}
+
+
+def deployment_by_name(name: str, n: int, rng: np.random.Generator, **kwargs) -> list[Node]:
+    """Generate a deployment by registry name.
+
+    Raises:
+        DeploymentError: if the name is unknown.
+    """
+    try:
+        generator = DEPLOYMENT_GENERATORS[name]
+    except KeyError as exc:
+        raise DeploymentError(
+            f"unknown deployment {name!r}; options: {sorted(DEPLOYMENT_GENERATORS)}"
+        ) from exc
+    return generator(n, rng, **kwargs)
+
+
+def validate_deployment(nodes: Sequence[Node], min_separation: float = 1.0) -> float:
+    """Check minimum separation and return the realized Delta.
+
+    Raises:
+        DeploymentError: if two nodes are closer than ``min_separation``
+            (beyond a small numerical tolerance).
+    """
+    if len(nodes) < 2:
+        return 1.0
+    points = [node.position for node in nodes]
+    realized = min_pairwise_distance(points)
+    if realized < min_separation * (1.0 - 1e-9):
+        raise DeploymentError(
+            f"minimum pairwise distance {realized:.4f} is below {min_separation}"
+        )
+    return distance_ratio(points)

@@ -1,0 +1,103 @@
+"""Planar points and distance helpers.
+
+All geometry in the paper lives in the Euclidean plane; the minimum pairwise
+distance among nodes is normalized to 1 and the maximum possible link length
+is denoted ``Delta``.  This module provides a small, immutable :class:`Point`
+value type plus vectorized distance utilities used throughout the library.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Point",
+    "distance",
+    "distance_matrix",
+    "points_to_array",
+    "min_pairwise_distance",
+    "max_pairwise_distance",
+    "distance_ratio",
+]
+
+
+@dataclass(frozen=True, order=True)
+class Point:
+    """An immutable point in the plane."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def translated(self, dx: float, dy: float) -> "Point":
+        """Return a copy of this point translated by ``(dx, dy)``."""
+        return Point(self.x + dx, self.y + dy)
+
+    def scaled(self, factor: float) -> "Point":
+        """Return a copy of this point scaled about the origin."""
+        return Point(self.x * factor, self.y * factor)
+
+    def as_tuple(self) -> tuple[float, float]:
+        """Return ``(x, y)``."""
+        return (self.x, self.y)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return a.distance_to(b)
+
+
+def points_to_array(points: Sequence[Point] | Iterable[Point]) -> np.ndarray:
+    """Convert an iterable of points to an ``(n, 2)`` float array."""
+    pts = list(points)
+    if not pts:
+        return np.empty((0, 2), dtype=float)
+    return np.array([(p.x, p.y) for p in pts], dtype=float)
+
+
+def distance_matrix(points: Sequence[Point]) -> np.ndarray:
+    """Pairwise Euclidean distance matrix for a sequence of points."""
+    arr = points_to_array(points)
+    if arr.shape[0] == 0:
+        return np.empty((0, 0), dtype=float)
+    diff = arr[:, None, :] - arr[None, :, :]
+    return np.hypot(diff[..., 0], diff[..., 1])
+
+
+def min_pairwise_distance(points: Sequence[Point]) -> float:
+    """Minimum distance between any two distinct points.
+
+    Raises:
+        ValueError: if fewer than two points are given.
+    """
+    if len(points) < 2:
+        raise ValueError("need at least two points to compute a pairwise distance")
+    dm = distance_matrix(points)
+    np.fill_diagonal(dm, np.inf)
+    return float(dm.min())
+
+
+def max_pairwise_distance(points: Sequence[Point]) -> float:
+    """Maximum distance between any two points (the diameter of the set)."""
+    if len(points) < 2:
+        raise ValueError("need at least two points to compute a pairwise distance")
+    return float(distance_matrix(points).max())
+
+
+def distance_ratio(points: Sequence[Point]) -> float:
+    """The ratio Delta between the longest and shortest pairwise distances."""
+    dm = distance_matrix(points)
+    np.fill_diagonal(dm, np.inf)
+    dmin = float(dm.min())
+    np.fill_diagonal(dm, -np.inf)
+    dmax = float(dm.max())
+    if dmin <= 0:
+        raise ValueError("duplicate points: minimum pairwise distance is zero")
+    return dmax / dmin

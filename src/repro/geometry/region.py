@@ -1,0 +1,92 @@
+"""Simple planar regions used by deployment generators and sparsity checks."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from .point import Point
+
+__all__ = ["Region", "Rectangle", "Disc"]
+
+
+class Region(ABC):
+    """Abstract planar region."""
+
+    @abstractmethod
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside (or on the boundary of) the region."""
+
+    @abstractmethod
+    def area(self) -> float:
+        """Area of the region."""
+
+    @abstractmethod
+    def bounding_box(self) -> "Rectangle":
+        """Axis-aligned bounding rectangle."""
+
+
+@dataclass(frozen=True)
+class Rectangle(Region):
+    """Axis-aligned rectangle ``[x_min, x_max] x [y_min, y_max]``."""
+
+    x_min: float
+    y_min: float
+    x_max: float
+    y_max: float
+
+    def __post_init__(self) -> None:
+        if self.x_max < self.x_min or self.y_max < self.y_min:
+            raise ValueError("rectangle must have non-negative extent")
+
+    @property
+    def width(self) -> float:
+        return self.x_max - self.x_min
+
+    @property
+    def height(self) -> float:
+        return self.y_max - self.y_min
+
+    def contains(self, point: Point) -> bool:
+        return self.x_min <= point.x <= self.x_max and self.y_min <= point.y <= self.y_max
+
+    def area(self) -> float:
+        return self.width * self.height
+
+    def bounding_box(self) -> "Rectangle":
+        return self
+
+    @staticmethod
+    def square(side: float, origin: Point = Point(0.0, 0.0)) -> "Rectangle":
+        """An axis-aligned square with the given side anchored at ``origin``."""
+        if side <= 0:
+            raise ValueError("square side must be positive")
+        return Rectangle(origin.x, origin.y, origin.x + side, origin.y + side)
+
+
+@dataclass(frozen=True)
+class Disc(Region):
+    """Closed disc with a center and a radius."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius < 0:
+            raise ValueError("disc radius must be non-negative")
+
+    def contains(self, point: Point) -> bool:
+        return self.center.distance_to(point) <= self.radius
+
+    def area(self) -> float:
+        import math
+
+        return math.pi * self.radius * self.radius
+
+    def bounding_box(self) -> Rectangle:
+        return Rectangle(
+            self.center.x - self.radius,
+            self.center.y - self.radius,
+            self.center.x + self.radius,
+            self.center.y + self.radius,
+        )

@@ -1,0 +1,98 @@
+"""A lightweight uniform-grid spatial index.
+
+The sparsity estimator (Definition 8) and several deployment generators need
+"all nodes within distance r of a point" queries.  For the instance sizes the
+experiments use (up to a few thousand nodes) a uniform bucket grid is simple,
+dependency-free, and fast enough.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from typing import Iterable, Iterator, Sequence
+
+from .node import Node
+from .point import Point
+
+__all__ = ["GridIndex"]
+
+
+class GridIndex:
+    """Uniform bucket grid over a set of nodes.
+
+    Args:
+        nodes: the nodes to index.
+        cell_size: side length of each grid cell.  Defaults to 1.0, the
+            normalized minimum node distance, which keeps per-cell occupancy
+            constant for paper-style deployments.
+    """
+
+    def __init__(self, nodes: Sequence[Node] | Iterable[Node], cell_size: float = 1.0):
+        if cell_size <= 0:
+            raise ValueError("cell_size must be positive")
+        self._cell_size = float(cell_size)
+        self._cells: dict[tuple[int, int], list[Node]] = defaultdict(list)
+        self._nodes: list[Node] = []
+        for node in nodes:
+            self._cells[self._cell_of(node.position)].append(node)
+            self._nodes.append(node)
+
+    @property
+    def cell_size(self) -> float:
+        """Side length of the grid cells."""
+        return self._cell_size
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def _cell_of(self, point: Point) -> tuple[int, int]:
+        return (int(math.floor(point.x / self._cell_size)), int(math.floor(point.y / self._cell_size)))
+
+    def nodes_within(self, center: Point, radius: float) -> list[Node]:
+        """All indexed nodes at distance at most ``radius`` from ``center``."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        cx, cy = self._cell_of(center)
+        reach = int(math.ceil(radius / self._cell_size)) + 1
+        result: list[Node] = []
+        for ix in range(cx - reach, cx + reach + 1):
+            for iy in range(cy - reach, cy + reach + 1):
+                bucket = self._cells.get((ix, iy))
+                if not bucket:
+                    continue
+                for node in bucket:
+                    if node.position.distance_to(center) <= radius:
+                        result.append(node)
+        return result
+
+    def count_within(self, center: Point, radius: float) -> int:
+        """Number of indexed nodes within ``radius`` of ``center``."""
+        return len(self.nodes_within(center, radius))
+
+    def nearest_neighbor(self, node: Node) -> Node | None:
+        """The nearest indexed node distinct from ``node``, or ``None``."""
+        best: Node | None = None
+        best_dist = math.inf
+        radius = self._cell_size
+        while True:
+            candidates = [c for c in self.nodes_within(node.position, radius) if c.id != node.id]
+            for candidate in candidates:
+                d = candidate.distance_to(node)
+                if d < best_dist:
+                    best, best_dist = candidate, d
+            if best is not None and best_dist <= radius:
+                return best
+            radius *= 2.0
+            if radius > 4.0 * self._extent() + 4.0 * self._cell_size:
+                return best
+
+    def _extent(self) -> float:
+        if not self._nodes:
+            return 0.0
+        xs = [n.x for n in self._nodes]
+        ys = [n.y for n in self._nodes]
+        return max(max(xs) - min(xs), max(ys) - min(ys))

@@ -1,0 +1,26 @@
+"""Link algebra: directed links, link sets, length classes, sparsity."""
+
+from .independence import (
+    are_q_independent,
+    is_q_independent_set,
+    partition_into_independent_sets,
+)
+from .length_classes import length_class_index, num_length_classes, partition_by_length_class
+from .link import Link
+from .linkset import LinkSet
+from .sparsity import SparsityReport, is_sparse, sparsity, sparsity_profile
+
+__all__ = [
+    "Link",
+    "LinkSet",
+    "length_class_index",
+    "num_length_classes",
+    "partition_by_length_class",
+    "SparsityReport",
+    "sparsity",
+    "sparsity_profile",
+    "is_sparse",
+    "are_q_independent",
+    "is_q_independent_set",
+    "partition_into_independent_sets",
+]

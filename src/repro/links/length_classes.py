@@ -1,0 +1,56 @@
+"""Length classes.
+
+A *length class* is a set of links whose lengths differ by at most a factor of
+two (Section 3).  The ``Init`` algorithm processes one length class per round
+and the analysis of ``Distr-Cap`` relies on the fact that links formed in the
+same round share a class.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+from .link import Link
+from .linkset import LinkSet
+
+__all__ = ["length_class_index", "partition_by_length_class", "num_length_classes"]
+
+
+def length_class_index(length: float, min_length: float = 1.0) -> int:
+    """Index of the length class containing ``length``.
+
+    Class ``k`` covers lengths in ``[min_length * 2**k, min_length * 2**(k+1))``;
+    lengths exactly equal to ``min_length`` fall in class 0.
+
+    Raises:
+        ValueError: if ``length`` is smaller than ``min_length`` or either
+            argument is non-positive.
+    """
+    if min_length <= 0:
+        raise ValueError("min_length must be positive")
+    if length <= 0:
+        raise ValueError("length must be positive")
+    if length < min_length * (1.0 - 1e-12):
+        raise ValueError(f"length {length} below the minimum length {min_length}")
+    ratio = max(length / min_length, 1.0)
+    index = int(math.floor(math.log2(ratio) + 1e-12))
+    return max(index, 0)
+
+
+def partition_by_length_class(
+    links: Iterable[Link], min_length: float = 1.0
+) -> dict[int, LinkSet]:
+    """Partition links into length classes keyed by class index."""
+    classes: dict[int, LinkSet] = {}
+    for link in links:
+        idx = length_class_index(link.length, min_length)
+        classes.setdefault(idx, LinkSet()).add(link)
+    return classes
+
+
+def num_length_classes(delta: float) -> int:
+    """Number of length classes needed to cover lengths in ``[1, delta]``."""
+    if delta < 1:
+        raise ValueError("delta must be at least 1")
+    return int(math.floor(math.log2(delta))) + 1 if delta > 1 else 1

@@ -1,0 +1,192 @@
+"""Ordered collections of links with the queries the paper's analysis needs.
+
+A :class:`LinkSet` is an ordered, duplicate-free collection of :class:`Link`
+objects supporting the vocabulary of Section 3: senders ``S(L)``, receivers
+``R(L)``, duals, node degrees, and length statistics.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable, Iterable, Iterator, Sequence
+
+from ..geometry import Node
+from .link import Link
+
+__all__ = ["LinkSet"]
+
+
+class LinkSet:
+    """An ordered set of directed links.
+
+    Iteration order is insertion order; membership, senders, receivers and
+    degree queries are O(1) per element.  The collection is immutable from the
+    outside except through :meth:`add`; algorithms generally build new sets
+    via :meth:`filtered` / :meth:`union` rather than mutating shared ones.
+    """
+
+    def __init__(self, links: Iterable[Link] = ()):
+        self._links: list[Link] = []
+        self._keys: set[tuple[int, int]] = set()
+        self._degree: Counter[int] = Counter()
+        self._nodes: dict[int, Node] = {}
+        for link in links:
+            self.add(link)
+
+    # -- construction -----------------------------------------------------
+
+    def add(self, link: Link) -> bool:
+        """Add ``link`` if not already present; return ``True`` if added."""
+        key = link.endpoint_ids
+        if key in self._keys:
+            return False
+        self._keys.add(key)
+        self._links.append(link)
+        self._degree[link.sender.id] += 1
+        self._degree[link.receiver.id] += 1
+        self._nodes[link.sender.id] = link.sender
+        self._nodes[link.receiver.id] = link.receiver
+        return True
+
+    def union(self, other: Iterable[Link]) -> "LinkSet":
+        """A new set containing this set's links followed by ``other``'s."""
+        result = LinkSet(self._links)
+        for link in other:
+            result.add(link)
+        return result
+
+    def filtered(self, predicate: Callable[[Link], bool]) -> "LinkSet":
+        """A new set with only the links satisfying ``predicate``."""
+        return LinkSet(link for link in self._links if predicate(link))
+
+    def without(self, other: Iterable[Link]) -> "LinkSet":
+        """A new set with the links of ``other`` removed."""
+        removed = {link.endpoint_ids for link in other}
+        return LinkSet(link for link in self._links if link.endpoint_ids not in removed)
+
+    def duals(self) -> "LinkSet":
+        """The dual set (every link reversed), in the same order."""
+        return LinkSet(link.dual for link in self._links)
+
+    # -- container protocol ----------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __iter__(self) -> Iterator[Link]:
+        return iter(self._links)
+
+    def __contains__(self, link: Link) -> bool:
+        return link.endpoint_ids in self._keys
+
+    def __getitem__(self, index: int) -> Link:
+        return self._links[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinkSet):
+            return NotImplemented
+        return self._keys == other._keys
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LinkSet({len(self._links)} links)"
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def links(self) -> Sequence[Link]:
+        """The links in insertion order (read-only view)."""
+        return tuple(self._links)
+
+    def senders(self) -> set[Node]:
+        """The set ``S(L)`` of sender nodes."""
+        return {link.sender for link in self._links}
+
+    def receivers(self) -> set[Node]:
+        """The set ``R(L)`` of receiver nodes."""
+        return {link.receiver for link in self._links}
+
+    def nodes(self) -> set[Node]:
+        """All nodes incident to some link."""
+        return set(self._nodes.values())
+
+    def node_ids(self) -> set[int]:
+        """Ids of all incident nodes."""
+        return set(self._nodes.keys())
+
+    def degree(self, node: Node | int) -> int:
+        """Number of links (in either direction) incident on ``node``."""
+        node_id = node if isinstance(node, int) else node.id
+        return self._degree.get(node_id, 0)
+
+    def degrees(self) -> dict[int, int]:
+        """Mapping of node id to incident-link count."""
+        return dict(self._degree)
+
+    def max_degree(self) -> int:
+        """Largest node degree (0 for an empty set)."""
+        return max(self._degree.values(), default=0)
+
+    def incident_links(self, node: Node | int) -> "LinkSet":
+        """All links having ``node`` as sender or receiver."""
+        node_id = node if isinstance(node, int) else node.id
+        return LinkSet(
+            link
+            for link in self._links
+            if link.sender.id == node_id or link.receiver.id == node_id
+        )
+
+    def outgoing(self, node: Node | int) -> "LinkSet":
+        """All links with ``node`` as sender."""
+        node_id = node if isinstance(node, int) else node.id
+        return LinkSet(link for link in self._links if link.sender.id == node_id)
+
+    def incoming(self, node: Node | int) -> "LinkSet":
+        """All links with ``node`` as receiver."""
+        node_id = node if isinstance(node, int) else node.id
+        return LinkSet(link for link in self._links if link.receiver.id == node_id)
+
+    def induced_by_nodes(self, nodes: Iterable[Node | int]) -> "LinkSet":
+        """Links whose both endpoints lie in ``nodes``."""
+        ids = {node if isinstance(node, int) else node.id for node in nodes}
+        return LinkSet(
+            link
+            for link in self._links
+            if link.sender.id in ids and link.receiver.id in ids
+        )
+
+    # -- length statistics --------------------------------------------------
+
+    def lengths(self) -> list[float]:
+        """List of link lengths in insertion order."""
+        return [link.length for link in self._links]
+
+    def min_length(self) -> float:
+        """Shortest link length.
+
+        Raises:
+            ValueError: for an empty set.
+        """
+        if not self._links:
+            raise ValueError("empty link set has no minimum length")
+        return min(self.lengths())
+
+    def max_length(self) -> float:
+        """Longest link length.
+
+        Raises:
+            ValueError: for an empty set.
+        """
+        if not self._links:
+            raise ValueError("empty link set has no maximum length")
+        return max(self.lengths())
+
+    def longer_than(self, threshold: float) -> "LinkSet":
+        """Links of length at least ``threshold`` (the paper's ``L(d)``)."""
+        return self.filtered(lambda link: link.length >= threshold)
+
+    def sorted_by_length(self, descending: bool = False) -> "LinkSet":
+        """A new set with links ordered by length (ties broken by node ids)."""
+        ordered = sorted(
+            self._links, key=lambda link: (link.length, link.endpoint_ids), reverse=descending
+        )
+        return LinkSet(ordered)

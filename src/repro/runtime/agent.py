@@ -1,0 +1,67 @@
+"""Per-node agents.
+
+Every distributed algorithm in the library is written as a subclass of
+:class:`NodeAgent`: an object holding only the node's local state, deciding at
+each slot whether to transmit (and what and at which power) or to listen, and
+updating its state from whatever the channel delivers.  Agents never see
+global state; the simulator is the only component that touches the channel.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+from ..geometry import Node
+from ..sinr import Reception, Transmission
+
+__all__ = ["NodeAgent"]
+
+
+class NodeAgent(ABC):
+    """Base class for the local protocol state machine of one node.
+
+    Args:
+        node: the wireless node this agent controls.
+        rng: the agent's private source of randomness.  Each agent gets its
+            own generator so runs are reproducible regardless of the order in
+            which the simulator polls agents.
+    """
+
+    def __init__(self, node: Node, rng: np.random.Generator):
+        self.node = node
+        self.rng = rng
+
+    @property
+    def node_id(self) -> int:
+        """Id of the controlled node."""
+        return self.node.id
+
+    @abstractmethod
+    def act(self, slot: int) -> Transmission | None:
+        """Decide the node's action for ``slot``.
+
+        Returns:
+            A :class:`Transmission` to send in this slot, or ``None`` to
+            listen.
+        """
+
+    @abstractmethod
+    def observe(self, slot: int, reception: Reception | None) -> None:
+        """Deliver the outcome of ``slot`` to the agent.
+
+        Args:
+            slot: the global slot index.
+            reception: the message decoded by this node in the slot, or
+                ``None`` if the node transmitted or decoded nothing.
+        """
+
+    def is_done(self) -> bool:
+        """Whether the agent has finished its protocol (used for early exit)."""
+        return False
+
+    def summary(self) -> dict[str, Any]:
+        """Small diagnostic dictionary (protocol-specific)."""
+        return {"node_id": self.node_id, "done": self.is_done()}

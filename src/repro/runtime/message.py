@@ -1,0 +1,70 @@
+"""Message types exchanged over the wireless channel.
+
+The paper distinguishes two message roles (Section 5):
+
+* a *broadcast* is exploratory, addressed to nobody in particular, and carries
+  only the sender's id and location;
+* an *acknowledgment* answers a previous broadcast and carries both the
+  acknowledger's identity and the id of the original broadcaster, so receivers
+  can tell whether an acknowledgment was meant for them.
+
+Data messages are used by the latency simulations (convergecast / broadcast on
+the finished tree).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..geometry import Node
+
+__all__ = ["BroadcastMessage", "AckMessage", "DataMessage"]
+
+
+@dataclass(frozen=True)
+class BroadcastMessage:
+    """Exploratory hello carrying the sender's identity and position."""
+
+    sender: Node
+    round_index: int = 0
+
+    @property
+    def sender_id(self) -> int:
+        return self.sender.id
+
+
+@dataclass(frozen=True)
+class AckMessage:
+    """Acknowledgment of a previous broadcast.
+
+    Attributes:
+        sender: the acknowledging node (the would-be parent / receiver).
+        target_id: id of the node whose broadcast is being acknowledged.
+        round_index: the protocol round in which the exchange happened.
+        slot_pair: index of the slot-pair within the round (used as the link's
+            schedule time stamp by ``Init``).
+    """
+
+    sender: Node
+    target_id: int
+    round_index: int = 0
+    slot_pair: int = 0
+
+    @property
+    def sender_id(self) -> int:
+        return self.sender.id
+
+
+@dataclass(frozen=True)
+class DataMessage:
+    """Application payload routed over an established tree."""
+
+    sender: Node
+    payload: Any = None
+    destination_id: int | None = None
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def sender_id(self) -> int:
+        return self.sender.id

@@ -1,0 +1,130 @@
+"""Lock-step slotted simulator.
+
+The simulator advances global slotted time.  In every slot it polls each
+agent for an action, feeds the resulting transmissions through the SINR
+channel, and delivers to every listening agent whatever (if anything) that
+agent decoded.  This is exactly the execution model of the paper: synchronized
+clocks, slotted time, a single shared channel, no carrier sensing.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import ProtocolError
+from ..sinr import Channel, Transmission
+from .agent import NodeAgent
+from .trace import ExecutionTrace, SlotRecord
+
+__all__ = ["Simulator", "spawn_agent_rngs"]
+
+
+def spawn_agent_rngs(rng: np.random.Generator, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent child generators from a parent generator."""
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    seeds = rng.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(seed)) for seed in seeds]
+
+
+class Simulator:
+    """Runs a collection of agents over a shared SINR channel.
+
+    Args:
+        agents: the per-node protocol agents.
+        channel: the SINR channel instance.
+        trace: optional pre-existing trace to append to.
+    """
+
+    def __init__(
+        self,
+        agents: Sequence[NodeAgent],
+        channel: Channel,
+        trace: ExecutionTrace | None = None,
+    ):
+        ids = [agent.node_id for agent in agents]
+        if len(ids) != len(set(ids)):
+            raise ProtocolError("duplicate node ids among agents")
+        self.agents: list[NodeAgent] = list(agents)
+        self.channel = channel
+        self.trace = trace if trace is not None else ExecutionTrace()
+        self._slot = 0
+
+    @property
+    def current_slot(self) -> int:
+        """Index of the next slot to execute."""
+        return self._slot
+
+    def step(self, label: str = "") -> SlotRecord:
+        """Execute one slot and return its record."""
+        transmissions: list[Transmission] = []
+        transmitter_ids: list[int] = []
+        listeners = []
+        for agent in self.agents:
+            action = agent.act(self._slot)
+            if action is None:
+                listeners.append(agent.node)
+            else:
+                if action.sender.id != agent.node_id:
+                    raise ProtocolError(
+                        f"agent {agent.node_id} attempted to transmit as node {action.sender.id}"
+                    )
+                transmissions.append(action)
+                transmitter_ids.append(agent.node_id)
+
+        receptions = self.channel.resolve(transmissions, listeners)
+        for agent in self.agents:
+            agent.observe(self._slot, receptions.get(agent.node_id))
+
+        record = SlotRecord(
+            slot=self._slot,
+            transmitters=tuple(transmitter_ids),
+            receptions={listener: rec.sender.id for listener, rec in receptions.items()},
+            label=label,
+        )
+        self.trace.record(record)
+        self._slot += 1
+        return record
+
+    def run(self, slots: int, label: str = "") -> ExecutionTrace:
+        """Execute a fixed number of slots."""
+        if slots < 0:
+            raise ValueError("slots must be non-negative")
+        for _ in range(slots):
+            self.step(label)
+        return self.trace
+
+    def run_until(
+        self,
+        predicate: Callable[["Simulator"], bool],
+        max_slots: int,
+        label: str = "",
+    ) -> ExecutionTrace:
+        """Execute slots until ``predicate(self)`` holds or ``max_slots`` elapse.
+
+        The predicate is evaluated before each slot; if it is already true no
+        slot is executed.
+
+        Raises:
+            ProtocolError: if the slot budget is exhausted without the
+                predicate becoming true.
+        """
+        executed = 0
+        while not predicate(self):
+            if executed >= max_slots:
+                raise ProtocolError(
+                    f"predicate not satisfied within {max_slots} slots (label={label!r})"
+                )
+            self.step(label)
+            executed += 1
+        return self.trace
+
+    def all_done(self) -> bool:
+        """Whether every agent reports completion."""
+        return all(agent.is_done() for agent in self.agents)
+
+    def agents_by_id(self) -> dict[int, NodeAgent]:
+        """Mapping from node id to agent."""
+        return {agent.node_id: agent for agent in self.agents}

@@ -1,0 +1,70 @@
+"""Execution traces and slot accounting for distributed runs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["SlotRecord", "ExecutionTrace"]
+
+
+@dataclass(frozen=True)
+class SlotRecord:
+    """What happened in one slot of a simulated execution.
+
+    Attributes:
+        slot: global slot index.
+        transmitters: ids of the nodes that transmitted.
+        receptions: mapping from listener id to the id of the decoded sender.
+        label: optional protocol-specific tag (e.g. "broadcast" / "ack").
+    """
+
+    slot: int
+    transmitters: tuple[int, ...]
+    receptions: dict[int, int]
+    label: str = ""
+
+
+@dataclass
+class ExecutionTrace:
+    """Accumulated record of a simulated protocol execution."""
+
+    records: list[SlotRecord] = field(default_factory=list)
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def record(self, record: SlotRecord) -> None:
+        """Append one slot record."""
+        self.records.append(record)
+
+    @property
+    def slots_used(self) -> int:
+        """Total number of slots recorded."""
+        return len(self.records)
+
+    @property
+    def transmissions_sent(self) -> int:
+        """Total number of individual transmissions across all slots."""
+        return sum(len(r.transmitters) for r in self.records)
+
+    @property
+    def successful_receptions(self) -> int:
+        """Total number of successful receptions across all slots."""
+        return sum(len(r.receptions) for r in self.records)
+
+    def busy_slots(self) -> int:
+        """Number of slots in which at least one node transmitted."""
+        return sum(1 for r in self.records if r.transmitters)
+
+    def slots_with_label(self, label: str) -> list[SlotRecord]:
+        """All slot records carrying the given label."""
+        return [r for r in self.records if r.label == label]
+
+    def summary(self) -> dict[str, Any]:
+        """Compact summary used by experiment reports."""
+        return {
+            "slots_used": self.slots_used,
+            "busy_slots": self.busy_slots(),
+            "transmissions_sent": self.transmissions_sent,
+            "successful_receptions": self.successful_receptions,
+            **self.metadata,
+        }

@@ -1,0 +1,64 @@
+"""SINR physical-model substrate: parameters, power, affectance, channel."""
+
+from .affectance import (
+    affectance,
+    affectance_between_links,
+    affectance_matrix,
+    average_affectance,
+    incoming_affectance,
+    link_cost,
+    outgoing_affectance,
+    total_affectance,
+)
+from .channel import Channel, Reception, Transmission
+from .feasibility import (
+    FEASIBILITY_TOLERANCE,
+    FeasibilityReport,
+    duplicate_senders,
+    feasibility_report,
+    is_feasible,
+    is_schedulable_slot,
+    sinr_values,
+    violates_half_duplex,
+)
+from .parameters import DEFAULT_PARAMETERS, SINRParameters
+from .power import (
+    OBLIVIOUS_SCHEMES,
+    ExplicitPower,
+    LinearPower,
+    MeanPower,
+    PowerAssignment,
+    UniformPower,
+    oblivious_power_by_name,
+)
+
+__all__ = [
+    "SINRParameters",
+    "DEFAULT_PARAMETERS",
+    "PowerAssignment",
+    "UniformPower",
+    "MeanPower",
+    "LinearPower",
+    "ExplicitPower",
+    "OBLIVIOUS_SCHEMES",
+    "oblivious_power_by_name",
+    "link_cost",
+    "affectance",
+    "affectance_between_links",
+    "affectance_matrix",
+    "incoming_affectance",
+    "outgoing_affectance",
+    "total_affectance",
+    "average_affectance",
+    "FeasibilityReport",
+    "feasibility_report",
+    "is_feasible",
+    "is_schedulable_slot",
+    "sinr_values",
+    "violates_half_duplex",
+    "duplicate_senders",
+    "FEASIBILITY_TOLERANCE",
+    "Channel",
+    "Transmission",
+    "Reception",
+]

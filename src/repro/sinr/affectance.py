@@ -1,0 +1,179 @@
+"""Affectance: normalized, thresholded interference (Section 5 of the paper).
+
+The affectance of a sender ``w`` (transmitting with power ``P_w``) on a link
+``l = (u, v)`` whose own sender uses power ``P_u`` is
+
+    a_w(l) = min( 1 + epsilon,
+                  c(u, v) * (P_w / P_u) * (d(u, v) / d(w, v))**alpha )
+
+with the link cost ``c(u, v) = beta / (1 - beta * N * d(u,v)**alpha / P_u)``.
+A link set ``L`` is feasible exactly when the total affectance on each of its
+links from the other senders is at most 1 (the thresholded rewriting of
+Eqn. (1) adopted in the paper).
+
+This module provides scalar forms (used by tests and by the distributed
+agents, which can only measure what they receive) and vectorized matrix forms
+(used by schedulers, validators and benchmarks).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry import Node
+from ..links import Link
+from .parameters import SINRParameters
+from .power import PowerAssignment
+
+__all__ = [
+    "link_cost",
+    "affectance",
+    "affectance_between_links",
+    "affectance_matrix",
+    "incoming_affectance",
+    "outgoing_affectance",
+    "total_affectance",
+    "average_affectance",
+]
+
+
+def link_cost(link: Link, sender_power: float, params: SINRParameters) -> float:
+    """The cost term ``c(u, v)`` of a link given its sender's power.
+
+    Returns ``math.inf`` when the power cannot overcome noise even without
+    interference (the link is then infeasible outright).
+    """
+    if sender_power <= 0:
+        raise ValueError("sender_power must be positive")
+    if params.noise == 0:
+        return params.beta
+    margin = 1.0 - params.beta * params.noise * link.length**params.alpha / sender_power
+    if margin <= 0:
+        return math.inf
+    return params.beta / margin
+
+
+def affectance(
+    interferer: Node,
+    interferer_power: float,
+    link: Link,
+    link_power: float,
+    params: SINRParameters,
+) -> float:
+    """Affectance of a single interfering sender on a link.
+
+    The link's own sender never affects itself (returns 0).  An interferer
+    co-located with the link's receiver saturates at ``1 + epsilon``.
+    """
+    if interferer.id == link.sender.id:
+        return 0.0
+    if interferer_power <= 0:
+        raise ValueError("interferer_power must be positive")
+    cost = link_cost(link, link_power, params)
+    cap = 1.0 + params.epsilon
+    if math.isinf(cost):
+        return cap
+    separation = interferer.distance_to(link.receiver)
+    if separation <= 0:
+        return cap
+    raw = cost * (interferer_power / link_power) * (link.length / separation) ** params.alpha
+    return min(cap, raw)
+
+
+def affectance_between_links(
+    source: Link,
+    target: Link,
+    power: PowerAssignment,
+    params: SINRParameters,
+) -> float:
+    """Affectance of ``source``'s sender (at its assigned power) on ``target``."""
+    return affectance(
+        interferer=source.sender,
+        interferer_power=power.power(source),
+        link=target,
+        link_power=power.power(target),
+        params=params,
+    )
+
+
+def affectance_matrix(
+    links: Sequence[Link],
+    power: PowerAssignment,
+    params: SINRParameters,
+) -> np.ndarray:
+    """Pairwise affectance matrix ``A`` with ``A[i, j] = a_{l_i}(l_j)``.
+
+    Row ``i`` is the affectance *caused by* link ``i``'s sender; column ``j``
+    is the affectance *suffered by* link ``j``.  Diagonal entries are zero, as
+    are entries where two links share the same sender node (a sender does not
+    interfere with its own transmissions).
+    """
+    m = len(links)
+    if m == 0:
+        return np.zeros((0, 0), dtype=float)
+    sender_xy = np.array([[l.sender.x, l.sender.y] for l in links], dtype=float)
+    receiver_xy = np.array([[l.receiver.x, l.receiver.y] for l in links], dtype=float)
+    sender_ids = np.array([l.sender.id for l in links])
+    lengths = np.array([l.length for l in links], dtype=float)
+    powers = np.array(power.powers(links), dtype=float)
+    if np.any(powers <= 0):
+        raise ValueError("all link powers must be positive")
+
+    cap = 1.0 + params.epsilon
+    # Link costs c(u, v); infeasible-vs-noise links get an infinite cost.
+    if params.noise == 0:
+        costs = np.full(m, params.beta)
+    else:
+        margins = 1.0 - params.beta * params.noise * lengths**params.alpha / powers
+        costs = np.where(margins > 0, params.beta / np.maximum(margins, 1e-300), np.inf)
+
+    # dist[i, j] = distance from sender of link i to receiver of link j.
+    diff = sender_xy[:, None, :] - receiver_xy[None, :, :]
+    dist = np.hypot(diff[..., 0], diff[..., 1])
+    with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+        raw = (
+            costs[None, :]
+            * (powers[:, None] / powers[None, :])
+            * (lengths[None, :] / np.maximum(dist, 1e-300)) ** params.alpha
+        )
+    raw = np.where(dist <= 0, np.inf, raw)
+    matrix = np.minimum(cap, raw)
+    # Zero out self-affectance and same-sender pairs.
+    same_sender = sender_ids[:, None] == sender_ids[None, :]
+    matrix[same_sender] = 0.0
+    np.fill_diagonal(matrix, 0.0)
+    return matrix
+
+
+def incoming_affectance(
+    links: Sequence[Link], power: PowerAssignment, params: SINRParameters
+) -> np.ndarray:
+    """Total affectance suffered by each link from all other links in the set."""
+    return affectance_matrix(links, power, params).sum(axis=0)
+
+
+def outgoing_affectance(
+    links: Sequence[Link], power: PowerAssignment, params: SINRParameters
+) -> np.ndarray:
+    """Total affectance each link's sender causes on the other links in the set."""
+    return affectance_matrix(links, power, params).sum(axis=1)
+
+
+def total_affectance(
+    links: Sequence[Link], power: PowerAssignment, params: SINRParameters
+) -> float:
+    """Sum of all pairwise affectances within the set (``a_L(L)``)."""
+    return float(affectance_matrix(links, power, params).sum())
+
+
+def average_affectance(
+    links: Sequence[Link], power: PowerAssignment, params: SINRParameters
+) -> float:
+    """Average incoming affectance per link (0 for sets of size < 2)."""
+    m = len(links)
+    if m < 2:
+        return 0.0
+    return total_affectance(links, power, params) / m

@@ -1,0 +1,156 @@
+"""The shared wireless channel.
+
+The channel is the *only* means of communication in the paper's model: in
+each slot some nodes transmit (each with a chosen power and message) and every
+non-transmitting node receives the message of the strongest sender whose SINR
+at that node meets the threshold ``beta`` - or nothing.
+
+The :class:`Channel` is stateless with respect to time; the distributed
+simulator (``repro.runtime``) calls :meth:`Channel.resolve` once per slot and
+is responsible for slot accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..geometry import Node
+from .parameters import SINRParameters
+
+__all__ = ["Transmission", "Reception", "Channel"]
+
+
+@dataclass(frozen=True)
+class Transmission:
+    """A single node transmitting one message at one power level in a slot."""
+
+    sender: Node
+    power: float
+    message: Any = None
+
+    def __post_init__(self) -> None:
+        if self.power <= 0:
+            raise ValueError(f"transmission power must be positive, got {self.power}")
+
+
+@dataclass(frozen=True)
+class Reception:
+    """A successful reception at a listener.
+
+    Attributes:
+        sender: the node whose message was decoded.
+        message: the decoded message payload.
+        sinr: the SINR at which it was received.
+    """
+
+    sender: Node
+    message: Any
+    sinr: float
+
+
+class Channel:
+    """SINR channel resolving simultaneous transmissions into receptions.
+
+    Args:
+        params: the physical-model parameters.
+    """
+
+    def __init__(self, params: SINRParameters):
+        self.params = params
+
+    def resolve(
+        self,
+        transmissions: Sequence[Transmission],
+        listeners: Iterable[Node],
+    ) -> dict[int, Reception]:
+        """Determine which listeners decode which transmission.
+
+        A listener decodes the transmission with the highest SINR at its
+        location, provided that SINR is at least ``beta``.  Nodes that are
+        themselves transmitting never receive (half-duplex); transmitting
+        nodes included in ``listeners`` are silently skipped.
+
+        Args:
+            transmissions: the transmissions taking place in this slot.  If a
+                node appears as the sender of several transmissions a
+                ``ValueError`` is raised - a radio sends one message per slot.
+            listeners: the nodes listening in this slot.
+
+        Returns:
+            Mapping from listener node id to the :class:`Reception` it decoded.
+            Listeners that decode nothing are absent from the mapping.
+        """
+        listener_list = [node for node in listeners]
+        if not transmissions or not listener_list:
+            return {}
+
+        sender_ids = [t.sender.id for t in transmissions]
+        if len(sender_ids) != len(set(sender_ids)):
+            raise ValueError("a node cannot send two transmissions in the same slot")
+        transmitting_ids = set(sender_ids)
+        active_listeners = [node for node in listener_list if node.id not in transmitting_ids]
+        if not active_listeners:
+            return {}
+
+        tx_xy = np.array([[t.sender.x, t.sender.y] for t in transmissions], dtype=float)
+        powers = np.array([t.power for t in transmissions], dtype=float)
+        rx_xy = np.array([[n.x, n.y] for n in active_listeners], dtype=float)
+
+        # received[i, j] = power of transmission i as seen by listener j.
+        diff = tx_xy[:, None, :] - rx_xy[None, :, :]
+        dist = np.hypot(diff[..., 0], diff[..., 1])
+        with np.errstate(divide="ignore"):
+            received = powers[:, None] / np.maximum(dist, 1e-300) ** self.params.alpha
+        received = np.where(dist <= 0, np.inf, received)
+
+        total = received.sum(axis=0) + self.params.noise
+        results: dict[int, Reception] = {}
+        for j, listener in enumerate(active_listeners):
+            signals = received[:, j]
+            best = int(np.argmax(signals))
+            interference = total[j] - signals[best]
+            if interference <= 0:
+                sinr = np.inf
+            else:
+                sinr = float(signals[best] / interference)
+            if sinr >= self.params.beta:
+                t = transmissions[best]
+                results[listener.id] = Reception(sender=t.sender, message=t.message, sinr=sinr)
+        return results
+
+    def link_succeeds(
+        self,
+        sender: Node,
+        receiver: Node,
+        sender_power: float,
+        concurrent: Mapping[int, tuple[Node, float]] | Sequence[Transmission],
+    ) -> bool:
+        """Whether a specific sender->receiver transmission meets the threshold.
+
+        Args:
+            sender: transmitting node of the link under test.
+            receiver: intended receiver.
+            sender_power: power used by ``sender``.
+            concurrent: the other simultaneous transmissions, either as a
+                sequence of :class:`Transmission` or a mapping from node id to
+                ``(node, power)``.
+        """
+        if isinstance(concurrent, Mapping):
+            others = [(node, power) for node, power in concurrent.values()]
+        else:
+            others = [(t.sender, t.power) for t in concurrent]
+        others = [(node, power) for node, power in others if node.id != sender.id]
+        if any(node.id == receiver.id for node, _ in others):
+            return False  # half-duplex: the receiver is busy transmitting
+        distance = sender.distance_to(receiver)
+        if distance <= 0:
+            return False
+        signal = sender_power / distance**self.params.alpha
+        interference = sum(
+            power / max(node.distance_to(receiver), 1e-300) ** self.params.alpha
+            for node, power in others
+        )
+        return signal / (self.params.noise + interference) >= self.params.beta

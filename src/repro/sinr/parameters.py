@@ -1,0 +1,82 @@
+"""SINR model parameters.
+
+The physical (SINR) model of interference, Eqn. (1) of the paper: a
+transmission from ``u`` to ``v`` succeeds when
+
+    (P_u / d(u,v)**alpha) / (N + sum_w P_w / d(w,v)**alpha) >= beta
+
+where ``alpha > 2`` is the path-loss exponent, ``beta`` the required SINR
+threshold, and ``N`` the ambient noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..exceptions import ConfigurationError
+
+__all__ = ["SINRParameters", "DEFAULT_PARAMETERS"]
+
+
+@dataclass(frozen=True)
+class SINRParameters:
+    """Immutable bundle of physical-model parameters.
+
+    Attributes:
+        alpha: path-loss exponent; must exceed 2 (the plane's critical value).
+        beta: minimum signal-to-interference-and-noise ratio for success.
+        noise: ambient noise power ``N``.
+        epsilon: the cap constant in the thresholded affectance
+            ``min(1 + epsilon, ...)`` (Section 5).
+        max_power: optional hard cap on transmit power.  The paper imposes no
+            cap; a finite value is useful for sensitivity studies only.
+    """
+
+    alpha: float = 3.0
+    beta: float = 1.5
+    noise: float = 1.0
+    epsilon: float = 0.1
+    max_power: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 2.0:
+            raise ConfigurationError(f"alpha must exceed 2, got {self.alpha}")
+        if self.beta <= 0.0:
+            raise ConfigurationError(f"beta must be positive, got {self.beta}")
+        if self.noise < 0.0:
+            raise ConfigurationError(f"noise must be non-negative, got {self.noise}")
+        if self.epsilon <= 0.0:
+            raise ConfigurationError(f"epsilon must be positive, got {self.epsilon}")
+        if self.max_power is not None and self.max_power <= 0.0:
+            raise ConfigurationError(f"max_power must be positive, got {self.max_power}")
+
+    def min_power_for(self, length: float, slack: float = 2.0) -> float:
+        """Smallest power keeping the link cost ``c(u, v)`` at most ``slack * beta``.
+
+        The paper requires ``c(u, v) <= 2 * beta``, which a sender guarantees
+        by transmitting with power at least ``2 * beta * N * d**alpha``
+        (Section 6 uses exactly this with ``d = 2**r``).
+
+        Args:
+            length: link length ``d(u, v)``.
+            slack: multiple of ``beta`` allowed for the link cost; the paper's
+                choice is 2.
+
+        Raises:
+            ConfigurationError: if ``slack <= 1`` (the cost can never fall to
+                ``beta`` at finite power when noise is positive).
+        """
+        if slack <= 1.0:
+            raise ConfigurationError("slack must exceed 1")
+        if length <= 0:
+            raise ValueError("length must be positive")
+        if self.noise == 0.0:
+            return 0.0
+        return slack / (slack - 1.0) * self.beta * self.noise * length**self.alpha
+
+    def with_overrides(self, **kwargs: float) -> "SINRParameters":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+DEFAULT_PARAMETERS = SINRParameters()

@@ -1,0 +1,89 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constants import AlgorithmConstants
+from repro.geometry import Node, Point, grid, uniform_random
+from repro.links import Link, LinkSet
+from repro.sinr import SINRParameters
+
+
+@pytest.fixture
+def params() -> SINRParameters:
+    """Default physical-model parameters used throughout the tests."""
+    return SINRParameters(alpha=3.0, beta=1.5, noise=1.0, epsilon=0.1)
+
+
+@pytest.fixture
+def mild_params() -> SINRParameters:
+    """A gentler SINR threshold, useful where many links must coexist."""
+    return SINRParameters(alpha=3.0, beta=1.0, noise=0.5, epsilon=0.1)
+
+
+@pytest.fixture
+def constants() -> AlgorithmConstants:
+    """Protocol constants sized for fast tests."""
+    return AlgorithmConstants(slot_pairs_per_round_factor=3.0, min_slot_pairs_per_round=8)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+def make_node(node_id: int, x: float, y: float) -> Node:
+    """Convenience node constructor used across test modules."""
+    return Node(id=node_id, position=Point(x, y))
+
+
+@pytest.fixture
+def line_nodes() -> list[Node]:
+    """Five nodes on a line, unit spacing."""
+    return [make_node(i, float(i), 0.0) for i in range(5)]
+
+
+@pytest.fixture
+def square_nodes() -> list[Node]:
+    """Four nodes at the corners of a 10x10 square."""
+    return [
+        make_node(0, 0.0, 0.0),
+        make_node(1, 10.0, 0.0),
+        make_node(2, 0.0, 10.0),
+        make_node(3, 10.0, 10.0),
+    ]
+
+
+@pytest.fixture
+def grid_nodes() -> list[Node]:
+    """A 5x5 grid with spacing 3."""
+    return grid(25, spacing=3.0)
+
+
+@pytest.fixture
+def random_nodes(rng: np.random.Generator) -> list[Node]:
+    """32 uniformly random nodes (deterministic via the rng fixture)."""
+    return uniform_random(32, rng)
+
+
+@pytest.fixture
+def chain_links(line_nodes: list[Node]) -> LinkSet:
+    """The chain of links along the line nodes."""
+    return LinkSet(Link(line_nodes[i], line_nodes[i + 1]) for i in range(len(line_nodes) - 1))
+
+
+@pytest.fixture
+def far_apart_links() -> LinkSet:
+    """Three short links placed very far from each other (trivially feasible)."""
+    nodes = [
+        make_node(0, 0.0, 0.0),
+        make_node(1, 1.0, 0.0),
+        make_node(2, 1000.0, 0.0),
+        make_node(3, 1001.0, 0.0),
+        make_node(4, 0.0, 1000.0),
+        make_node(5, 1.0, 1000.0),
+    ]
+    return LinkSet([Link(nodes[0], nodes[1]), Link(nodes[2], nodes[3]), Link(nodes[4], nodes[5])])

@@ -1,0 +1,97 @@
+"""Tests for repro.analysis.latency (convergecast / broadcast / pairwise)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import pairwise_latency, simulate_broadcast, simulate_convergecast
+from repro.baselines import CentralizedMSTBaseline
+from repro.core import InitialTreeBuilder
+from repro.geometry import uniform_random
+from repro.sinr import SINRParameters, UniformPower
+
+from .conftest import make_node
+
+
+@pytest.fixture(scope="module")
+def scheduled_tree():
+    params = SINRParameters()
+    rng = np.random.default_rng(9)
+    nodes = uniform_random(36, rng)
+    outcome = InitialTreeBuilder(params).build(nodes, rng)
+    return params, outcome.tree, outcome.power
+
+
+class TestConvergecast:
+    def test_counts_all_nodes(self, scheduled_tree):
+        params, tree, power = scheduled_tree
+        outcome = simulate_convergecast(tree, power, params)
+        assert outcome.correct
+        assert outcome.root_value == pytest.approx(float(tree.size))
+        assert outcome.failed_links == 0
+
+    def test_latency_equals_schedule_length(self, scheduled_tree):
+        params, tree, power = scheduled_tree
+        outcome = simulate_convergecast(tree, power, params)
+        assert outcome.slots == tree.aggregation_schedule.length
+
+    def test_custom_values_and_combiner(self, scheduled_tree):
+        params, tree, power = scheduled_tree
+        values = {node_id: float(node_id) for node_id in tree.nodes}
+        outcome = simulate_convergecast(tree, power, params, values=values, combine=max)
+        assert outcome.correct
+        assert outcome.root_value == pytest.approx(max(values.values()))
+
+    def test_underpowered_tree_fails(self, scheduled_tree):
+        params, tree, _ = scheduled_tree
+        bad_power = UniformPower(1e-9)
+        outcome = simulate_convergecast(tree, bad_power, params)
+        assert not outcome.correct
+        assert outcome.failed_links > 0
+
+    def test_single_node_tree(self, params):
+        from repro.core import BiTree
+
+        tree = BiTree.from_parent_map([make_node(0, 0, 0)], 0, {})
+        outcome = simulate_convergecast(tree, UniformPower(1.0), params)
+        assert outcome.correct
+        assert outcome.slots == 0
+
+
+class TestBroadcast:
+    def test_reaches_every_node(self, scheduled_tree):
+        params, tree, power = scheduled_tree
+        outcome = simulate_broadcast(tree, power, params)
+        assert outcome.complete
+        assert outcome.reached == tree.size
+
+    def test_latency_equals_schedule_length(self, scheduled_tree):
+        params, tree, power = scheduled_tree
+        outcome = simulate_broadcast(tree, power, params)
+        assert outcome.slots == tree.dissemination_schedule.length
+
+    def test_underpowered_broadcast_incomplete(self, scheduled_tree):
+        params, tree, _ = scheduled_tree
+        outcome = simulate_broadcast(tree, UniformPower(1e-9), params)
+        assert not outcome.complete
+
+    def test_mst_baseline_tree_broadcasts(self, params, rng):
+        nodes = uniform_random(25, rng)
+        baseline = CentralizedMSTBaseline(params).build(nodes)
+        outcome = simulate_broadcast(baseline.tree, baseline.power, params)
+        assert outcome.complete
+
+
+class TestPairwise:
+    def test_delivery_and_latency_bound(self, scheduled_tree):
+        params, tree, power = scheduled_tree
+        ids = sorted(tree.nodes)
+        outcome = pairwise_latency(tree, power, params, ids[0], ids[-1])
+        assert outcome.delivered
+        assert outcome.slots <= 2 * tree.aggregation_schedule.length
+
+    def test_unknown_nodes_rejected(self, scheduled_tree):
+        params, tree, power = scheduled_tree
+        with pytest.raises(KeyError):
+            pairwise_latency(tree, power, params, -1, 10**9)

@@ -1,0 +1,118 @@
+"""Tests for repro.analysis.metrics and repro.core.quantities."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    affectance_statistics,
+    degree_statistics,
+    loglog_fit,
+    schedule_statistics,
+    tree_sparsity,
+)
+from repro.core import BiTree, Schedule, num_rounds_for_delta, upsilon
+from repro.links import Link, LinkSet
+from repro.sinr import UniformPower
+
+from .conftest import make_node
+
+
+class TestQuantities:
+    def test_upsilon_grows_with_n_and_delta(self):
+        assert upsilon(1024, 10.0) > upsilon(16, 10.0)
+        assert upsilon(64, 1e9) > upsilon(64, 10.0)
+
+    def test_upsilon_matches_formula(self):
+        assert upsilon(64, 256.0) == pytest.approx(math.log2(math.log2(256.0)) + 6.0)
+
+    def test_upsilon_validation(self):
+        with pytest.raises(ValueError):
+            upsilon(0, 10.0)
+        with pytest.raises(ValueError):
+            upsilon(10, 0.5)
+
+    def test_num_rounds_for_delta(self):
+        assert num_rounds_for_delta(1.0) == 1
+        assert num_rounds_for_delta(2.5) == 2
+        assert num_rounds_for_delta(1000.0) == 10
+        with pytest.raises(ValueError):
+            num_rounds_for_delta(0.9)
+
+
+class TestDegreeStatistics:
+    def test_linkset_degrees(self, chain_links):
+        stats = degree_statistics(chain_links)
+        assert stats.max_degree == 2
+        assert stats.degree_histogram[1] == 2  # the two chain endpoints
+
+    def test_bitree_degrees(self):
+        nodes = [make_node(i, float(i), 0.0) for i in range(4)]
+        tree = BiTree.from_parent_map(nodes, 3, {0: 1, 1: 3, 2: 3})
+        stats = degree_statistics(tree)
+        assert stats.max_degree == 2
+        assert stats.mean_degree == pytest.approx(6 / 4)
+
+    def test_empty(self):
+        stats = degree_statistics(LinkSet())
+        assert stats.max_degree == 0
+        assert stats.degree_histogram == {}
+
+
+class TestScheduleStatistics:
+    def test_counts(self):
+        nodes = [make_node(i, 10.0 * i, 0.0) for i in range(6)]
+        links = [Link(nodes[i], nodes[i + 1]) for i in range(5)]
+        schedule = Schedule({links[0]: 0, links[1]: 0, links[2]: 1, links[3]: 1, links[4]: 2})
+        stats = schedule_statistics(schedule)
+        assert stats.length == 3
+        assert stats.links == 5
+        assert stats.max_slot_size == 2
+        assert stats.mean_slot_size == pytest.approx(5 / 3)
+
+    def test_empty(self):
+        stats = schedule_statistics(Schedule())
+        assert stats.length == 0 and stats.links == 0
+
+
+class TestTreeSparsityAndAffectance:
+    def test_tree_sparsity_of_chain(self):
+        nodes = [make_node(i, float(i), 0.0) for i in range(6)]
+        tree = BiTree.from_parent_map(nodes, 5, {i: i + 1 for i in range(5)})
+        assert tree_sparsity(tree) <= 2
+
+    def test_affectance_statistics(self, params, far_apart_links):
+        power = UniformPower.for_max_length(params, 1.0)
+        stats = affectance_statistics(far_apart_links, power, params)
+        assert stats.max_incoming < 1.0
+        assert stats.mean_incoming <= stats.max_incoming
+        assert stats.total == pytest.approx(stats.mean_incoming * len(far_apart_links), rel=1e-6)
+
+    def test_affectance_statistics_small_sets(self, params):
+        power = UniformPower(1.0)
+        assert affectance_statistics([], power, params).total == 0.0
+
+
+class TestLogLogFit:
+    def test_recovers_power_law(self):
+        xs = [1.0, 2.0, 4.0, 8.0, 16.0]
+        ys = [3.0 * x**2 for x in xs]
+        exponent, constant = loglog_fit(xs, ys)
+        assert exponent == pytest.approx(2.0, abs=1e-9)
+        assert constant == pytest.approx(3.0, rel=1e-9)
+
+    def test_noisy_fit_close(self):
+        rng = np.random.default_rng(0)
+        xs = np.linspace(2, 50, 20)
+        ys = 5.0 * xs**1.5 * rng.uniform(0.95, 1.05, size=xs.size)
+        exponent, _ = loglog_fit(list(xs), list(ys))
+        assert exponent == pytest.approx(1.5, abs=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            loglog_fit([1.0], [1.0])
+        with pytest.raises(ValueError):
+            loglog_fit([1.0, -1.0], [1.0, 2.0])

@@ -1,0 +1,63 @@
+"""Tests for repro.constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constants import (
+    AlgorithmConstants,
+    PaperConstants,
+    PracticalConstants,
+    paper_broadcast_probability,
+)
+
+
+class TestBroadcastProbability:
+    def test_matches_lemma5_formula(self):
+        alpha, beta = 3.0, 1.0
+        expected = 1.0 / (64.0 * (1.0 + 6.0 * beta * 8.0 / 1.0))
+        assert paper_broadcast_probability(alpha, beta) == pytest.approx(expected)
+
+    def test_decreases_with_beta(self):
+        assert paper_broadcast_probability(3.0, 2.0) < paper_broadcast_probability(3.0, 1.0)
+
+    def test_alpha_must_exceed_two(self):
+        with pytest.raises(ValueError):
+            paper_broadcast_probability(2.0, 1.0)
+
+
+class TestAlgorithmConstants:
+    def test_slot_pairs_scale_with_log_n(self):
+        constants = AlgorithmConstants(slot_pairs_per_round_factor=2.0, min_slot_pairs_per_round=1)
+        assert constants.slot_pairs_per_round(1024) == 20
+        assert constants.slot_pairs_per_round(2) == 2
+
+    def test_minimum_slot_pairs_enforced(self):
+        constants = AlgorithmConstants(min_slot_pairs_per_round=16)
+        assert constants.slot_pairs_per_round(2) >= 16
+
+    def test_invalid_n_rejected(self):
+        with pytest.raises(ValueError):
+            AlgorithmConstants().slot_pairs_per_round(0)
+
+    def test_with_overrides(self):
+        constants = AlgorithmConstants().with_overrides(broadcast_probability=0.3)
+        assert constants.broadcast_probability == 0.3
+        assert constants.capacity_tau == AlgorithmConstants().capacity_tau
+
+    def test_practical_constants_are_algorithm_constants(self):
+        assert isinstance(PracticalConstants(), AlgorithmConstants)
+
+
+class TestPaperConstants:
+    def test_paper_constants_are_far_more_conservative(self):
+        paper = PaperConstants(alpha=3.0, beta=1.0)
+        practical = AlgorithmConstants()
+        assert paper.broadcast_probability < practical.broadcast_probability
+        assert paper.slot_pairs_per_round(64) > practical.slot_pairs_per_round(64)
+        assert paper.degree_cap_rho > practical.degree_cap_rho
+
+    def test_paper_rho_matches_formula(self):
+        paper = PaperConstants(alpha=3.0, beta=1.0)
+        p = paper.broadcast_probability
+        assert paper.degree_cap_rho == pytest.approx(160.0 / (p * p), rel=0.01)

@@ -1,0 +1,151 @@
+"""Tests for repro.core.capacity (Kesselheim selection + first-fit scheduling)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    first_fit_schedule,
+    first_fit_schedule_result,
+    is_power_controllable,
+    pair_weight,
+    select_feasible_subset,
+    select_power_controllable_subset,
+    solve_power,
+    total_pair_weight,
+)
+from repro.links import Link, LinkSet
+from repro.sinr import MeanPower, UniformPower, is_feasible
+
+from .conftest import make_node
+
+
+def _scattered_links(count: int, spacing: float = 25.0) -> LinkSet:
+    """Unit links scattered on a row, `spacing` apart (mutually compatible)."""
+    links = []
+    for i in range(count):
+        links.append(Link(make_node(2 * i, i * spacing, 0.0), make_node(2 * i + 1, i * spacing + 1.0, 0.0)))
+    return LinkSet(links)
+
+
+def _crowded_links(count: int) -> LinkSet:
+    """Unit links packed tightly together (heavy mutual interference)."""
+    links = []
+    for i in range(count):
+        links.append(Link(make_node(2 * i, i * 1.5, 0.0), make_node(2 * i + 1, i * 1.5 + 1.0, 0.0)))
+    return LinkSet(links)
+
+
+class TestSelectFeasibleSubset:
+    def test_selects_everything_when_compatible(self, params):
+        links = _scattered_links(5)
+        result = select_feasible_subset(links, params)
+        assert len(result.selected) == 5
+
+    def test_selected_subset_is_power_controllable(self, params):
+        links = _crowded_links(8)
+        result = select_feasible_subset(links, params)
+        assert len(result.selected) >= 1
+        power = solve_power(list(result.selected), params, margin=1.05)
+        assert is_feasible(list(result.selected), power, params)
+
+    def test_crowded_set_is_thinned(self, params):
+        links = _crowded_links(10)
+        result = select_feasible_subset(links, params)
+        assert len(result.selected) < len(links)
+
+    def test_exclusive_nodes_respected(self, params):
+        hub = make_node(0, 0, 0)
+        links = LinkSet(
+            [Link(make_node(1, 1, 0), hub), Link(make_node(2, 0, 1), hub), Link(make_node(3, -1, 0), hub)]
+        )
+        result = select_feasible_subset(links, params, exclusive_nodes=True)
+        assert len(result.selected) == 1
+
+    def test_empty_input(self, params):
+        result = select_feasible_subset(LinkSet(), params)
+        assert len(result.selected) == 0
+        assert result.considered == 0
+
+    def test_invalid_tau(self, params):
+        with pytest.raises(ValueError):
+            select_feasible_subset(_scattered_links(2), params, tau=0.0)
+
+    def test_power_controllable_selection_always_solvable(self, params, rng):
+        from repro.geometry import uniform_random
+        from repro.links import Link
+
+        nodes = uniform_random(80, rng)
+        links = [Link(nodes[i], nodes[i + 1]) for i in range(0, 78, 2)]
+        selected = select_power_controllable_subset(links, params)
+        assert len(selected) >= 1
+        assert is_power_controllable(list(selected), params, margin=1.05)
+        power = solve_power(list(selected), params, margin=1.05)
+        assert is_feasible(list(selected), power, params)
+
+    def test_power_controllable_selection_even_with_loose_tau(self, params):
+        links = _crowded_links(12)
+        selected = select_power_controllable_subset(links, params, tau=3.0)
+        assert is_power_controllable(list(selected), params, margin=1.05)
+
+
+class TestPairWeight:
+    def test_zero_when_first_longer(self, params):
+        long_link = Link(make_node(0, 0, 0), make_node(1, 8, 0))
+        short_link = Link(make_node(2, 20, 0), make_node(3, 21, 0))
+        assert pair_weight(long_link, short_link, params) == 0.0
+        assert pair_weight(short_link, long_link, params) > 0.0
+
+    def test_decreases_with_separation(self, params):
+        short_near = Link(make_node(2, 5, 0), make_node(3, 6, 0))
+        short_far = Link(make_node(2, 50, 0), make_node(3, 51, 0))
+        long_link = Link(make_node(0, 0, 0), make_node(1, 4, 0))
+        assert pair_weight(short_near, long_link, params) > pair_weight(short_far, long_link, params)
+
+    def test_total_pair_weight_excludes_self(self, params):
+        links = list(_scattered_links(3))
+        assert total_pair_weight(links[0], links, params) == pytest.approx(
+            sum(pair_weight(links[0], other, params) for other in links[1:])
+        )
+
+    def test_feasible_set_has_bounded_weight(self, params):
+        # Eqn. (5): for a feasible set R and any link, f_l(R) = O(1).  With the
+        # scattered construction the weights should be far below 1.
+        links = list(_scattered_links(6))
+        for link in links:
+            assert total_pair_weight(link, links, params) < 1.0
+
+
+class TestFirstFitSchedule:
+    def test_compatible_links_share_one_slot(self, params):
+        links = _scattered_links(5)
+        power = UniformPower.for_max_length(params, 1.0)
+        schedule = first_fit_schedule(links, power, params)
+        assert schedule.length == 1
+
+    def test_schedule_covers_and_is_feasible(self, params):
+        links = _crowded_links(10)
+        power = MeanPower.for_max_length(params, 2.0)
+        schedule = first_fit_schedule(links, power, params)
+        schedule.validate_covers(links)
+        assert schedule.is_feasible(power, params)
+
+    def test_crowded_links_use_multiple_slots(self, params):
+        links = _crowded_links(10)
+        power = UniformPower.for_max_length(params, 2.0)
+        schedule = first_fit_schedule(links, power, params)
+        assert 1 < schedule.length <= len(links)
+
+    def test_exclusive_nodes_in_slots(self, params):
+        hub = make_node(0, 0, 0)
+        links = LinkSet([Link(make_node(1, 200, 0), hub), Link(make_node(2, 0, 200), hub)])
+        power = UniformPower.for_max_length(params, 200.0)
+        schedule = first_fit_schedule(links, power, params)
+        assert schedule.length == 2
+
+    def test_result_wrapper(self, params):
+        links = _scattered_links(3)
+        power = UniformPower.for_max_length(params, 1.0)
+        result = first_fit_schedule_result(links, power, params)
+        assert result.power is power
+        assert result.schedule.length >= 1

@@ -1,0 +1,117 @@
+"""Tests for repro.core.distributed_scheduling and power_control (Thm 3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistributedScheduler,
+    InitialTreeBuilder,
+    MeanPowerRescheduler,
+)
+from repro.exceptions import ConvergenceError
+from repro.geometry import uniform_random
+from repro.links import Link, LinkSet
+from repro.sinr import MeanPower, UniformPower
+
+from .conftest import make_node
+
+
+def _spread_links(count: int, spacing: float = 30.0) -> LinkSet:
+    return LinkSet(
+        Link(make_node(2 * i, i * spacing, 0.0), make_node(2 * i + 1, i * spacing + 1.0, 0.0))
+        for i in range(count)
+    )
+
+
+class TestDistributedScheduler:
+    def test_schedules_all_links(self, params, rng):
+        links = _spread_links(6)
+        power = UniformPower.for_max_length(params, 1.0)
+        result = DistributedScheduler(params).schedule(links, power, rng)
+        result.schedule.validate_covers(links)
+        assert result.frames_elapsed >= 1
+        assert result.slots_elapsed == 2 * result.frames_elapsed
+
+    def test_slot_groups_are_feasible(self, params, rng):
+        links = _spread_links(8, spacing=10.0)
+        power = MeanPower.for_max_length(params, 1.0)
+        result = DistributedScheduler(params).schedule(links, power, rng)
+        assert result.schedule.is_feasible(power, params, check_structure=True)
+
+    def test_empty_input(self, params, rng):
+        result = DistributedScheduler(params).schedule(LinkSet(), UniformPower(1.0), rng)
+        assert result.frames_elapsed == 0
+        assert len(result.schedule) == 0
+
+    def test_budget_exhaustion_raises(self, params, rng):
+        links = _spread_links(4)
+        power = UniformPower(1e-9)  # cannot overcome noise, so nothing ever succeeds
+        with pytest.raises(ConvergenceError):
+            DistributedScheduler(params).schedule(links, power, rng, max_frames=20)
+
+    def test_invalid_parameters_rejected(self, params):
+        with pytest.raises(ValueError):
+            DistributedScheduler(params, decay=0.0)
+        with pytest.raises(ValueError):
+            DistributedScheduler(params, recovery=0.5)
+        with pytest.raises(ValueError):
+            DistributedScheduler(params, min_probability=0.0)
+
+    def test_shared_node_links_get_distinct_slots(self, params, rng):
+        # A node cannot send and receive simultaneously; the contention process
+        # must put adjacent links in different slots.
+        a, b, c = make_node(0, 0, 0), make_node(1, 1.5, 0), make_node(2, 3.0, 0)
+        links = LinkSet([Link(a, b), Link(b, c)])
+        power = UniformPower.for_max_length(params, 1.5)
+        result = DistributedScheduler(params).schedule(links, power, rng)
+        assert result.schedule.slot_of(links[0]) != result.schedule.slot_of(links[1])
+
+    def test_deterministic_under_seed(self, params):
+        links = _spread_links(5)
+        power = UniformPower.for_max_length(params, 1.0)
+        first = DistributedScheduler(params).schedule(links, power, np.random.default_rng(3))
+        second = DistributedScheduler(params).schedule(links, power, np.random.default_rng(3))
+        assert first.frames_elapsed == second.frames_elapsed
+
+
+class TestMeanPowerRescheduler:
+    @pytest.fixture(scope="class")
+    def tree_links(self):
+        from repro.sinr import SINRParameters
+
+        params = SINRParameters()
+        rng = np.random.default_rng(11)
+        nodes = uniform_random(40, rng)
+        outcome = InitialTreeBuilder(params).build(nodes, rng)
+        return params, outcome
+
+    def test_reschedules_all_tree_links(self, tree_links, rng):
+        params, outcome = tree_links
+        links = outcome.tree.aggregation_links()
+        result = MeanPowerRescheduler(params).reschedule(links, rng)
+        result.schedule.validate_covers(links)
+        assert result.schedule_length >= 1
+
+    def test_schedule_feasible_under_mean_power(self, tree_links, rng):
+        params, outcome = tree_links
+        links = outcome.tree.aggregation_links()
+        result = MeanPowerRescheduler(params).reschedule(links, rng)
+        assert result.schedule.is_feasible(result.power, params)
+
+    def test_mean_power_assignment_used_by_default(self, tree_links, rng):
+        params, outcome = tree_links
+        rescheduler = MeanPowerRescheduler(params)
+        links = outcome.tree.aggregation_links()
+        assert isinstance(rescheduler.mean_power_for(links), MeanPower)
+
+    def test_reschedule_beats_or_matches_initial_stamps(self, tree_links, rng):
+        params, outcome = tree_links
+        links = outcome.tree.aggregation_links()
+        result = MeanPowerRescheduler(params).reschedule(links, rng)
+        assert result.schedule_length <= outcome.tree.aggregation_schedule.length * 2
+
+    def test_empty_input(self, params, rng):
+        result = MeanPowerRescheduler(params).reschedule(LinkSet(), rng)
+        assert result.schedule_length == 0

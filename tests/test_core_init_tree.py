@@ -1,0 +1,135 @@
+"""Tests for repro.core.init_tree (the ``Init`` protocol, Theorem 2/7)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import InitialTreeBuilder, round_power
+from repro.exceptions import ProtocolError
+from repro.geometry import grid, linear_chain, uniform_random
+from repro.links import length_class_index
+from repro.sinr import SINRParameters
+
+from .conftest import make_node
+
+
+class TestRoundPower:
+    def test_round_power_covers_round_reach(self, params):
+        # Power of round r must keep c(u, v) <= 2 beta for links up to 2**r.
+        from repro.links import Link
+        from repro.sinr import link_cost
+
+        for round_index in (1, 3, 6):
+            reach = 2.0**round_index
+            link = Link(make_node(0, 0, 0), make_node(1, reach * 0.99, 0))
+            cost = link_cost(link, round_power(round_index, params), params)
+            assert cost <= 2 * params.beta + 1e-9
+
+    def test_round_power_monotone(self, params):
+        assert round_power(2, params) < round_power(3, params)
+
+    def test_round_index_validated(self, params):
+        with pytest.raises(ValueError):
+            round_power(0, params)
+
+    def test_zero_noise_power_positive(self):
+        params = SINRParameters(noise=0.0)
+        assert round_power(1, params) > 0
+
+
+class TestInitSmall:
+    def test_single_node(self, params, constants, rng):
+        result = InitialTreeBuilder(params, constants).build([make_node(0, 0, 0)], rng)
+        assert result.tree.size == 1
+        assert result.slots_used == 0
+        assert result.tree.root_id == 0
+
+    def test_two_nodes_form_one_link(self, params, constants, rng):
+        nodes = [make_node(0, 0, 0), make_node(1, 1.5, 0)]
+        result = InitialTreeBuilder(params, constants).build(nodes, rng)
+        assert result.tree.size == 2
+        assert len(result.tree.aggregation_links()) == 1
+        assert result.tree.is_strongly_connected()
+
+    def test_empty_input_rejected(self, params, constants, rng):
+        with pytest.raises(ProtocolError):
+            InitialTreeBuilder(params, constants).build([], rng)
+
+    def test_invalid_max_sweeps(self, params, constants):
+        with pytest.raises(ValueError):
+            InitialTreeBuilder(params, constants, max_sweeps=0)
+
+
+class TestInitStructure:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        params = SINRParameters()
+        rng = np.random.default_rng(42)
+        nodes = uniform_random(48, rng)
+        return nodes, InitialTreeBuilder(params).build(nodes, rng), params
+
+    def test_spanning_tree(self, outcome):
+        nodes, result, _ = outcome
+        result.tree.validate()
+        assert set(result.tree.nodes) == {node.id for node in nodes}
+
+    def test_strongly_connected(self, outcome):
+        _, result, _ = outcome
+        assert result.tree.is_strongly_connected()
+
+    def test_aggregation_order_respected(self, outcome):
+        _, result, _ = outcome
+        result.tree.validate_aggregation_order()
+
+    def test_schedule_feasible_under_recorded_powers(self, outcome):
+        _, result, params = outcome
+        assert result.tree.aggregation_schedule.is_feasible(result.power, params)
+
+    def test_link_lengths_match_recorded_rounds(self, outcome):
+        _, result, _ = outcome
+        for (sender, receiver), round_index in result.link_rounds.items():
+            link = next(
+                l for l in result.tree.aggregation_links() if l.endpoint_ids == (sender, receiver)
+            )
+            assert length_class_index(max(link.length, 1.0)) + 1 == pytest.approx(round_index)
+
+    def test_slots_accounted(self, outcome):
+        _, result, _ = outcome
+        assert result.slots_used == result.trace.slots_used
+        assert result.slots_used > 0
+
+    def test_degree_bound_is_modest(self, outcome):
+        _, result, _ = outcome
+        n = result.tree.size
+        assert result.tree.max_degree() <= 4 * math.log2(n) + 4
+
+    def test_stored_degrees_cover_all_nodes(self, outcome):
+        nodes, result, _ = outcome
+        assert set(result.stored_degrees) == {node.id for node in nodes}
+
+
+class TestInitDeployments:
+    def test_grid_deployment(self, params, rng):
+        nodes = grid(36, spacing=2.0)
+        result = InitialTreeBuilder(params).build(nodes, rng)
+        assert result.tree.is_strongly_connected()
+
+    def test_linear_chain_deployment(self, params, rng):
+        nodes = linear_chain(20, spacing=1.0)
+        result = InitialTreeBuilder(params).build(nodes, rng)
+        assert result.tree.is_strongly_connected()
+
+    def test_rounds_scale_with_log_delta(self, params, rng):
+        small = InitialTreeBuilder(params).build(linear_chain(8), rng)
+        large = InitialTreeBuilder(params).build(linear_chain(64), rng)
+        assert large.rounds_used > small.rounds_used
+
+    def test_determinism_with_same_seed(self, params):
+        nodes = grid(16, spacing=2.0)
+        first = InitialTreeBuilder(params).build(nodes, np.random.default_rng(5))
+        second = InitialTreeBuilder(params).build(nodes, np.random.default_rng(5))
+        assert first.tree.parent == second.tree.parent
+        assert first.slots_used == second.slots_used

@@ -1,0 +1,118 @@
+"""Tests for repro.core.power_solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import foschini_miljanic, gain_matrix, is_power_controllable, solve_power, spectral_radius
+from repro.exceptions import ConvergenceError, InfeasiblePowerError
+from repro.links import Link
+from repro.sinr import SINRParameters, is_feasible
+
+from .conftest import make_node
+
+
+def _parallel_links(count: int, spacing: float, length: float = 1.0) -> list[Link]:
+    """`count` parallel unit-length links, vertically separated by `spacing`."""
+    links = []
+    for i in range(count):
+        sender = make_node(2 * i, 0.0, i * spacing)
+        receiver = make_node(2 * i + 1, length, i * spacing)
+        links.append(Link(sender, receiver))
+    return links
+
+
+class TestGainMatrix:
+    def test_shape_and_diagonal(self, params):
+        links = _parallel_links(3, spacing=10.0)
+        gains = gain_matrix(links, params)
+        assert gains.shape == (3, 3)
+        assert gains[0, 0] == pytest.approx(1.0)  # unit length, alpha irrelevant
+
+    def test_offdiagonal_decay(self, params):
+        links = _parallel_links(2, spacing=10.0)
+        gains = gain_matrix(links, params)
+        assert gains[0, 1] < gains[0, 0]
+
+    def test_empty(self, params):
+        assert gain_matrix([], params).shape == (0, 0)
+
+
+class TestSpectralRadius:
+    def test_known_matrix(self):
+        assert spectral_radius(np.array([[0.0, 0.5], [0.5, 0.0]])) == pytest.approx(0.5)
+
+    def test_empty_matrix(self):
+        assert spectral_radius(np.zeros((0, 0))) == 0.0
+
+
+class TestPowerControllability:
+    def test_well_separated_links_controllable(self, params):
+        assert is_power_controllable(_parallel_links(4, spacing=20.0), params)
+
+    def test_tightly_packed_links_not_controllable(self, params):
+        assert not is_power_controllable(_parallel_links(6, spacing=1.0), params)
+
+    def test_single_link_always_controllable(self, params):
+        assert is_power_controllable(_parallel_links(1, spacing=1.0), params)
+
+
+class TestSolvePower:
+    def test_solution_is_feasible(self, params):
+        links = _parallel_links(4, spacing=15.0)
+        power = solve_power(links, params, margin=1.05)
+        assert is_feasible(links, power, params)
+
+    def test_infeasible_set_raises(self, params):
+        with pytest.raises(InfeasiblePowerError):
+            solve_power(_parallel_links(6, spacing=1.0), params)
+
+    def test_empty_and_single(self, params):
+        assert len(solve_power([], params).as_dict()) == 0
+        links = _parallel_links(1, spacing=1.0)
+        power = solve_power(links, params)
+        assert is_feasible(links, power, params)
+
+    def test_zero_noise_solution_feasible(self):
+        params = SINRParameters(alpha=3.0, beta=1.2, noise=0.0)
+        links = _parallel_links(3, spacing=12.0)
+        power = solve_power(links, params, margin=1.1)
+        assert is_feasible(links, power, params)
+
+    def test_margin_increases_power(self, params):
+        links = _parallel_links(3, spacing=20.0)
+        base = solve_power(links, params, margin=1.0)
+        buffered = solve_power(links, params, margin=1.5)
+        for link in links:
+            assert buffered.power(link) > base.power(link)
+
+
+class TestFoschiniMiljanic:
+    def test_converges_to_feasible_assignment(self, params):
+        links = _parallel_links(4, spacing=15.0)
+        result = foschini_miljanic(links, params, margin=1.05)
+        assert result.converged
+        assert is_feasible(links, result.power, params)
+
+    def test_matches_direct_solution(self, params):
+        links = _parallel_links(3, spacing=15.0)
+        iterative = foschini_miljanic(links, params).power
+        direct = solve_power(links, params)
+        for link in links:
+            assert iterative.power(link) == pytest.approx(direct.power(link), rel=1e-4)
+
+    def test_divergence_detected(self, params):
+        links = _parallel_links(6, spacing=1.0)
+        with pytest.raises(ConvergenceError):
+            foschini_miljanic(links, params, max_iterations=200)
+
+    def test_no_raise_mode(self, params):
+        links = _parallel_links(6, spacing=1.0)
+        result = foschini_miljanic(links, params, max_iterations=50, raise_on_failure=False)
+        assert not result.converged
+
+    def test_empty_input(self, params):
+        result = foschini_miljanic([], params)
+        assert result.converged
+        assert result.iterations == 0

@@ -1,0 +1,97 @@
+"""Tests for repro.core.repair (node-failure repair, the dynamic extension)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InitialTreeBuilder, TreeRepairer
+from repro.exceptions import ProtocolError
+from repro.geometry import uniform_random
+from repro.sinr import SINRParameters
+
+
+@pytest.fixture(scope="module")
+def built_tree():
+    params = SINRParameters()
+    rng = np.random.default_rng(101)
+    nodes = uniform_random(40, rng)
+    outcome = InitialTreeBuilder(params).build(nodes, rng)
+    return params, nodes, outcome
+
+
+def _leaves(tree):
+    children_of = set(tree.parent.values())
+    return [node_id for node_id in tree.nodes if node_id not in children_of and node_id != tree.root_id]
+
+
+class TestTreeRepairer:
+    def test_repair_after_internal_failures_restores_spanning_tree(self, built_tree, rng):
+        params, _, outcome = built_tree
+        internal = [
+            node_id
+            for node_id in outcome.tree.nodes
+            if outcome.tree.children(node_id) and node_id != outcome.tree.root_id
+        ][:3]
+        result = TreeRepairer(params).repair(outcome.tree, outcome.power, internal, rng)
+        result.tree.validate()
+        assert result.tree.is_strongly_connected()
+        assert set(result.tree.nodes) == set(outcome.tree.nodes) - set(internal)
+        assert result.slots_used > 0
+        assert result.reattached
+
+    def test_leaf_failures_need_no_repair_slots(self, built_tree, rng):
+        params, _, outcome = built_tree
+        leaves = _leaves(outcome.tree)[:3]
+        result = TreeRepairer(params).repair(outcome.tree, outcome.power, leaves, rng)
+        assert result.slots_used == 0
+        assert result.reattached == frozenset()
+        assert result.tree.is_strongly_connected()
+        assert not result.root_changed
+
+    def test_root_failure_elects_new_root(self, built_tree, rng):
+        params, _, outcome = built_tree
+        result = TreeRepairer(params).repair(
+            outcome.tree, outcome.power, [outcome.tree.root_id], rng
+        )
+        assert result.root_changed
+        assert result.tree.root_id != outcome.tree.root_id
+        assert result.tree.is_strongly_connected()
+
+    def test_new_slot_groups_are_feasible(self, built_tree, rng):
+        params, _, outcome = built_tree
+        internal = [
+            node_id
+            for node_id in outcome.tree.nodes
+            if outcome.tree.children(node_id) and node_id != outcome.tree.root_id
+        ][:2]
+        result = TreeRepairer(params).repair(outcome.tree, outcome.power, internal, rng)
+        old_span = outcome.tree.aggregation_schedule.span
+        schedule = result.tree.aggregation_schedule
+        new_slots = [slot for slot in schedule.used_slots() if slot > old_span]
+        assert new_slots, "repair should add fresh slots"
+        for slot in new_slots:
+            group = schedule.links_in_slot(slot)
+            from repro.sinr import is_feasible
+
+            assert is_feasible(list(group), result.power, params)
+
+    def test_repair_cost_smaller_than_rebuild(self, built_tree, rng):
+        params, nodes, outcome = built_tree
+        internal = [
+            node_id
+            for node_id in outcome.tree.nodes
+            if outcome.tree.children(node_id) and node_id != outcome.tree.root_id
+        ][:2]
+        result = TreeRepairer(params).repair(outcome.tree, outcome.power, internal, rng)
+        assert result.slots_used < outcome.slots_used
+
+    def test_unknown_failure_id_rejected(self, built_tree, rng):
+        params, _, outcome = built_tree
+        with pytest.raises(ProtocolError):
+            TreeRepairer(params).repair(outcome.tree, outcome.power, [10**9], rng)
+
+    def test_total_failure_rejected(self, built_tree, rng):
+        params, _, outcome = built_tree
+        with pytest.raises(ProtocolError):
+            TreeRepairer(params).repair(outcome.tree, outcome.power, list(outcome.tree.nodes), rng)

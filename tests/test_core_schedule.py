@@ -1,0 +1,114 @@
+"""Tests for repro.core.schedule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import Schedule
+from repro.exceptions import ScheduleError
+from repro.links import Link
+from repro.sinr import UniformPower
+
+from .conftest import make_node
+
+
+def _links(count: int) -> list[Link]:
+    nodes = [make_node(i, float(3 * i), 0.0) for i in range(count + 1)]
+    return [Link(nodes[i], nodes[i + 1]) for i in range(count)]
+
+
+class TestAssignment:
+    def test_assign_and_slot_of(self):
+        links = _links(2)
+        schedule = Schedule({links[0]: 0, links[1]: 3})
+        assert schedule.slot_of(links[0]) == 0
+        assert schedule.slot_of(links[1]) == 3
+
+    def test_unscheduled_link_raises(self):
+        schedule = Schedule()
+        with pytest.raises(ScheduleError):
+            schedule.slot_of(_links(1)[0])
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ScheduleError):
+            Schedule({_links(1)[0]: -1})
+
+    def test_overwrite_assignment(self):
+        link = _links(1)[0]
+        schedule = Schedule({link: 0})
+        schedule.assign(link, 5)
+        assert schedule.slot_of(link) == 5
+        assert len(schedule) == 1
+
+
+class TestShape:
+    def test_length_counts_distinct_slots(self):
+        links = _links(3)
+        schedule = Schedule({links[0]: 0, links[1]: 0, links[2]: 4})
+        assert schedule.length == 2
+        assert schedule.span == 5
+        assert schedule.used_slots() == [0, 4]
+
+    def test_normalized_compacts_slots(self):
+        links = _links(3)
+        schedule = Schedule({links[0]: 2, links[1]: 7, links[2]: 7})
+        normalized = schedule.normalized()
+        assert normalized.used_slots() == [0, 1]
+        assert normalized.slot_of(links[0]) == 0
+
+    def test_reversed_inverts_order(self):
+        links = _links(3)
+        schedule = Schedule({links[0]: 0, links[1]: 1, links[2]: 2})
+        reversed_schedule = schedule.reversed()
+        assert reversed_schedule.slot_of(links[0]) == 2
+        assert reversed_schedule.slot_of(links[2]) == 0
+
+    def test_merge_with_offset(self):
+        first, second = _links(2)
+        merged = Schedule({first: 0}).merge(Schedule({second: 0}), offset=5)
+        assert merged.slot_of(second) == 5
+        assert merged.length == 2
+
+    def test_slot_groups_and_links_in_slot(self):
+        links = _links(3)
+        schedule = Schedule({links[0]: 1, links[1]: 1, links[2]: 2})
+        groups = schedule.slot_groups()
+        assert len(groups[1]) == 2
+        assert links[2] in schedule.links_in_slot(2)
+
+    def test_relabeled(self):
+        link = _links(1)[0]
+        schedule = Schedule({link: 3}).relabeled(lambda slot: slot * 2)
+        assert schedule.slot_of(link) == 6
+
+    def test_empty_schedule_shape(self):
+        schedule = Schedule()
+        assert schedule.length == 0
+        assert schedule.span == 0
+        assert schedule.reversed().length == 0
+
+
+class TestValidation:
+    def test_validate_covers(self):
+        links = _links(2)
+        schedule = Schedule({links[0]: 0})
+        with pytest.raises(ScheduleError):
+            schedule.validate_covers(links)
+        schedule.assign(links[1], 1)
+        schedule.validate_covers(links)
+
+    def test_feasibility_of_singleton_slots(self, params):
+        links = _links(3)
+        power = UniformPower.for_max_length(params, 3.0)
+        schedule = Schedule({link: index for index, link in enumerate(links)})
+        assert schedule.is_feasible(power, params)
+        assert schedule.infeasible_slots(power, params) == []
+
+    def test_infeasible_slot_detected(self, params):
+        # Three adjacent unit links crammed into one slot cannot all succeed.
+        nodes = [make_node(i, float(i), 0.0) for i in range(6)]
+        links = [Link(nodes[0], nodes[1]), Link(nodes[2], nodes[3]), Link(nodes[4], nodes[5])]
+        power = UniformPower.for_max_length(params, 1.0)
+        schedule = Schedule({link: 0 for link in links})
+        assert not schedule.is_feasible(power, params)
+        assert schedule.infeasible_slots(power, params) == [0]

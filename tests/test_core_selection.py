@@ -1,0 +1,153 @@
+"""Tests for T(M), mean-power sampling selection and Distr-Cap (Section 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DistrCapSelector,
+    InitialTreeBuilder,
+    MeanPowerSelector,
+    degree_bounded_subset,
+    is_power_controllable,
+    solve_power,
+)
+from repro.links import Link, LinkSet, sparsity
+from repro.sinr import MeanPower, SINRParameters, is_feasible
+
+from .conftest import make_node
+
+
+def _star(count: int) -> LinkSet:
+    hub = make_node(0, 0.0, 0.0)
+    return LinkSet(Link(make_node(i, float(i), 3.0), hub) for i in range(1, count + 1))
+
+
+@pytest.fixture(scope="module")
+def init_outcome():
+    params = SINRParameters()
+    rng = np.random.default_rng(21)
+    from repro.geometry import uniform_random
+
+    nodes = uniform_random(48, rng)
+    outcome = InitialTreeBuilder(params).build(nodes, rng)
+    return params, outcome
+
+
+class TestDegreeBoundedSubset:
+    def test_low_degree_tree_is_untouched(self, chain_links):
+        result = degree_bounded_subset(chain_links, rho=2)
+        assert len(result.subset) == len(chain_links)
+        assert result.fraction == pytest.approx(1.0)
+
+    def test_high_degree_hub_links_removed(self):
+        star = _star(6)
+        result = degree_bounded_subset(star, rho=3)
+        assert len(result.subset) == 0
+        assert 0 not in result.low_degree_nodes
+
+    def test_fraction_of_real_tree_is_large(self, init_outcome):
+        _, outcome = init_outcome
+        links = outcome.tree.aggregation_links()
+        result = degree_bounded_subset(links, rho=6)
+        assert result.fraction >= 0.5
+
+    def test_subset_sparsity_not_worse_than_tree(self, init_outcome):
+        _, outcome = init_outcome
+        links = outcome.tree.aggregation_links()
+        result = degree_bounded_subset(links, rho=6)
+        assert sparsity(result.subset).psi <= sparsity(links).psi
+
+    def test_invalid_rho(self, chain_links):
+        with pytest.raises(ValueError):
+            degree_bounded_subset(chain_links, rho=0)
+
+    def test_empty_tree(self):
+        result = degree_bounded_subset(LinkSet(), rho=3)
+        assert len(result.subset) == 0
+        assert result.fraction == 0.0
+
+
+class TestMeanPowerSelector:
+    def test_selected_set_is_feasible_under_mean_power(self, init_outcome, rng):
+        params, outcome = init_outcome
+        candidates = degree_bounded_subset(outcome.tree.aggregation_links(), 6).subset
+        power = MeanPower.for_max_length(params, max(outcome.delta, 1.0))
+        result = MeanPowerSelector(params).select(candidates, rng, power=power)
+        assert len(result.selected) >= 1
+        assert is_feasible(list(result.selected), power, params)
+
+    def test_selected_links_come_from_candidates(self, init_outcome, rng):
+        params, outcome = init_outcome
+        candidates = outcome.tree.aggregation_links()
+        result = MeanPowerSelector(params).select(candidates, rng)
+        assert all(link in candidates for link in result.selected)
+
+    def test_probability_decreases_with_upsilon(self, params):
+        selector = MeanPowerSelector(params)
+        assert selector.sampling_probability(1024, 1e9) < selector.sampling_probability(8, 4.0)
+
+    def test_explicit_probability_respected(self, params):
+        selector = MeanPowerSelector(params, probability=0.123)
+        assert selector.sampling_probability(100, 100.0) == 0.123
+
+    def test_invalid_probability(self, params):
+        with pytest.raises(ValueError):
+            MeanPowerSelector(params, probability=0.0)
+
+    def test_empty_candidates(self, params, rng):
+        result = MeanPowerSelector(params).select(LinkSet(), rng)
+        assert len(result.selected) == 0
+        assert result.slots_used == 0
+
+
+class TestDistrCapSelector:
+    def test_selected_set_is_power_controllable(self, init_outcome, rng):
+        params, outcome = init_outcome
+        candidates = degree_bounded_subset(outcome.tree.aggregation_links(), 6).subset
+        result = DistrCapSelector(params).select(candidates, rng, link_rounds=outcome.link_rounds)
+        assert len(result.selected) >= 1
+        assert result.power_controllable
+        power = solve_power(list(result.selected), params, margin=1.05)
+        assert is_feasible(list(result.selected), power, params)
+
+    def test_no_node_in_two_selected_links(self, init_outcome, rng):
+        params, outcome = init_outcome
+        candidates = outcome.tree.aggregation_links()
+        result = DistrCapSelector(params).select(candidates, rng, link_rounds=outcome.link_rounds)
+        used: set[int] = set()
+        for link in result.selected:
+            assert link.sender.id not in used
+            assert link.receiver.id not in used
+            used.update(link.endpoint_ids)
+
+    def test_slots_used_is_two_per_phase(self, init_outcome, rng):
+        params, outcome = init_outcome
+        candidates = outcome.tree.aggregation_links()
+        result = DistrCapSelector(params).select(candidates, rng, link_rounds=outcome.link_rounds)
+        assert result.slots_used == 2 * result.phases
+
+    def test_selection_without_round_hints_uses_length_classes(self, init_outcome, rng):
+        params, outcome = init_outcome
+        candidates = outcome.tree.aggregation_links()
+        result = DistrCapSelector(params).select(candidates, rng)
+        assert result.phases >= 1
+        assert is_power_controllable(list(result.selected), params)
+
+    def test_empty_candidates(self, params, rng):
+        result = DistrCapSelector(params).select(LinkSet(), rng)
+        assert len(result.selected) == 0
+        assert result.phases == 0
+
+    def test_selects_constant_fraction_on_average(self, init_outcome):
+        params, outcome = init_outcome
+        candidates = degree_bounded_subset(outcome.tree.aggregation_links(), 6).subset
+        sizes = []
+        for seed in range(5):
+            rng = np.random.default_rng(100 + seed)
+            result = DistrCapSelector(params).select(
+                candidates, rng, link_rounds=outcome.link_rounds
+            )
+            sizes.append(len(result.selected))
+        assert np.mean(sizes) >= 0.05 * len(candidates)

@@ -1,0 +1,86 @@
+"""Smoke tests for the remaining experiment modules and the examples.
+
+The headline experiments are covered in test_experiments.py; here every other
+experiment module is run once on a tiny configuration to guarantee the whole
+harness stays runnable, and the example scripts' entry points are exercised.
+"""
+
+from __future__ import annotations
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    e3_sparsity,
+    e4_reschedule,
+    e6_tvc_mean,
+    e7_tm_subset,
+    e8_latency,
+    e9_capacity,
+    f2_delta,
+    f3_uniform_lower_bound,
+)
+
+TINY = ExperimentConfig(
+    sizes=(12, 20),
+    delta_targets=(1.0e2, 1.0e3),
+    seeds=(1,),
+    delta_sweep_size=16,
+)
+
+
+class TestRemainingExperiments:
+    def test_e3_sparsity(self):
+        result = e3_sparsity.run(TINY)
+        assert result.experiment_id == "E3"
+        assert all(row["sparsity_psi"] >= 1 for row in result.rows)
+
+    def test_e4_reschedule(self):
+        result = e4_reschedule.run(TINY)
+        assert result.summary["all_feasible"]
+        for row in result.rows:
+            assert row["mean_resched_len"] >= 1
+            assert row["mean_ff_len"] <= row["initial_len"]
+
+    def test_e6_tvc_mean(self):
+        result = e6_tvc_mean.run(TINY)
+        assert result.summary["all_feasible"]
+
+    def test_e7_tm_subset(self):
+        result = e7_tm_subset.run(TINY)
+        assert result.summary["min_fraction"] > 0.0
+
+    def test_e8_latency(self):
+        result = e8_latency.run(TINY)
+        assert result.summary["all_convergecasts_correct"]
+        assert result.summary["all_broadcasts_complete"]
+
+    def test_e9_capacity(self):
+        result = e9_capacity.run(TINY)
+        assert result.summary["all_selected_feasible"]
+
+    def test_f2_delta(self):
+        result = f2_delta.run(TINY)
+        assert len(result.rows) == len(TINY.delta_targets)
+        # The tiny two-point sweep is too noisy to assert growth ratios; the
+        # benchmark (bench_f2_delta) checks those on the full sweep.
+        assert result.summary["init_slots_growth"] > 0.0
+        assert all(row["tvc_arbitrary_len"] >= 1 for row in result.rows)
+
+    def test_f3_uniform_lower_bound(self):
+        result = f3_uniform_lower_bound.run(TINY)
+        largest = result.rows[-1]
+        assert largest["uniform_ff_len"] == largest["links"]
+        assert largest["mean_ff_len"] < largest["uniform_ff_len"]
+
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script", ["quickstart.py"])
+def test_example_scripts_import_and_define_main(script):
+    namespace = runpy.run_path(str(EXAMPLES_DIR / script), run_name="not_main")
+    assert callable(namespace.get("main"))

@@ -1,0 +1,138 @@
+"""Tests for repro.geometry.deployment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DeploymentError
+from repro.geometry import (
+    DEPLOYMENT_GENERATORS,
+    clustered,
+    deployment_by_name,
+    distance_ratio,
+    exponential_chain,
+    grid,
+    linear_chain,
+    min_pairwise_distance,
+    two_scale,
+    uniform_random,
+    validate_deployment,
+)
+
+
+def _positions(nodes):
+    return [node.position for node in nodes]
+
+
+class TestUniformRandom:
+    def test_returns_requested_count(self, rng):
+        nodes = uniform_random(40, rng)
+        assert len(nodes) == 40
+
+    def test_minimum_separation_holds(self, rng):
+        nodes = uniform_random(60, rng, min_separation=1.0)
+        assert min_pairwise_distance(_positions(nodes)) >= 1.0 - 1e-9
+
+    def test_ids_are_unique_and_consecutive(self, rng):
+        nodes = uniform_random(25, rng)
+        assert sorted(node.id for node in nodes) == list(range(25))
+
+    def test_custom_separation(self, rng):
+        nodes = uniform_random(20, rng, min_separation=2.5)
+        assert min_pairwise_distance(_positions(nodes)) >= 2.5 - 1e-9
+
+    def test_too_tight_square_raises(self, rng):
+        with pytest.raises(DeploymentError):
+            uniform_random(100, rng, side=5.0)
+
+    def test_zero_nodes_rejected(self, rng):
+        with pytest.raises(DeploymentError):
+            uniform_random(0, rng)
+
+
+class TestGrid:
+    def test_exact_count(self):
+        assert len(grid(10)) == 10
+
+    def test_unit_spacing_separation(self):
+        nodes = grid(16, spacing=2.0)
+        assert min_pairwise_distance(_positions(nodes)) == pytest.approx(2.0)
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(DeploymentError):
+            grid(9, jitter=0.1)
+
+    def test_jitter_preserves_positive_separation(self, rng):
+        nodes = grid(25, rng, spacing=2.0, jitter=0.4)
+        assert min_pairwise_distance(_positions(nodes)) > 0.5
+
+    def test_invalid_jitter_rejected(self, rng):
+        with pytest.raises(DeploymentError):
+            grid(9, rng, spacing=1.0, jitter=0.6)
+
+
+class TestClustered:
+    def test_count_and_separation(self, rng):
+        nodes = clustered(40, rng, clusters=4)
+        assert len(nodes) == 40
+        assert min_pairwise_distance(_positions(nodes)) >= 1.0 - 1e-9
+
+    def test_single_cluster(self, rng):
+        nodes = clustered(10, rng, clusters=1)
+        assert len(nodes) == 10
+
+
+class TestTwoScale:
+    def test_delta_close_to_target(self, rng):
+        nodes = two_scale(30, rng, delta_target=1e4)
+        delta = distance_ratio(_positions(nodes))
+        assert 0.5e4 <= delta <= 5e4
+
+    def test_outlier_count_validated(self, rng):
+        with pytest.raises(DeploymentError):
+            two_scale(5, rng, outliers=5)
+
+    def test_delta_target_validated(self, rng):
+        with pytest.raises(DeploymentError):
+            two_scale(10, rng, delta_target=1.5)
+
+
+class TestChains:
+    def test_exponential_chain_positions(self):
+        nodes = exponential_chain(5)
+        xs = [node.x for node in nodes]
+        assert xs == [1.0, 2.0, 4.0, 8.0, 16.0]
+
+    def test_exponential_chain_delta(self):
+        nodes = exponential_chain(8)
+        assert distance_ratio(_positions(nodes)) == pytest.approx(2.0**7 - 1)
+
+    def test_linear_chain_spacing(self):
+        nodes = linear_chain(4, spacing=3.0)
+        assert [node.x for node in nodes] == [0.0, 3.0, 6.0, 9.0]
+
+    def test_exponential_base_validated(self):
+        with pytest.raises(DeploymentError):
+            exponential_chain(4, base=1.0)
+
+
+class TestRegistry:
+    def test_all_registered_generators_run(self, rng):
+        for name in DEPLOYMENT_GENERATORS:
+            nodes = deployment_by_name(name, 12, rng)
+            assert len(nodes) == 12
+
+    def test_unknown_name_raises(self, rng):
+        with pytest.raises(DeploymentError):
+            deployment_by_name("nope", 10, rng)
+
+    def test_validate_deployment_returns_delta(self, rng):
+        nodes = uniform_random(20, rng)
+        delta = validate_deployment(nodes)
+        assert delta >= 1.0
+
+    def test_validate_deployment_rejects_close_pairs(self):
+        nodes = grid(4, spacing=0.25)
+        with pytest.raises(DeploymentError):
+            validate_deployment(nodes, min_separation=1.0)

@@ -1,0 +1,97 @@
+"""Tests for repro.geometry.point."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    Point,
+    distance,
+    distance_matrix,
+    distance_ratio,
+    max_pairwise_distance,
+    min_pairwise_distance,
+    points_to_array,
+)
+
+
+class TestPoint:
+    def test_distance_to_is_euclidean(self):
+        assert Point(0.0, 0.0).distance_to(Point(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_distance_is_symmetric(self):
+        a, b = Point(1.0, 2.0), Point(-3.0, 7.5)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_translated(self):
+        assert Point(1.0, 1.0).translated(2.0, -1.0) == Point(3.0, 0.0)
+
+    def test_scaled(self):
+        assert Point(1.0, -2.0).scaled(3.0) == Point(3.0, -6.0)
+
+    def test_as_tuple(self):
+        assert Point(1.5, 2.5).as_tuple() == (1.5, 2.5)
+
+    def test_points_are_hashable_and_frozen(self):
+        point = Point(1.0, 2.0)
+        assert {point: "x"}[Point(1.0, 2.0)] == "x"
+        with pytest.raises(AttributeError):
+            point.x = 3.0  # type: ignore[misc]
+
+    def test_module_level_distance(self):
+        assert distance(Point(0, 0), Point(0, 2)) == pytest.approx(2.0)
+
+
+class TestDistanceMatrix:
+    def test_matches_pairwise_distances(self):
+        points = [Point(0, 0), Point(1, 0), Point(0, 2)]
+        matrix = distance_matrix(points)
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 1] == pytest.approx(1.0)
+        assert matrix[0, 2] == pytest.approx(2.0)
+        assert matrix[1, 2] == pytest.approx(math.sqrt(5))
+
+    def test_diagonal_is_zero(self):
+        points = [Point(3, 4), Point(-1, 2)]
+        matrix = distance_matrix(points)
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_symmetry(self):
+        points = [Point(0, 0), Point(2, 5), Point(-3, 1)]
+        matrix = distance_matrix(points)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_empty_input(self):
+        assert distance_matrix([]).shape == (0, 0)
+
+    def test_points_to_array_shape(self):
+        arr = points_to_array([Point(1, 2), Point(3, 4)])
+        assert arr.shape == (2, 2)
+        assert arr[1, 0] == pytest.approx(3.0)
+
+
+class TestExtremes:
+    def test_min_pairwise_distance(self):
+        points = [Point(0, 0), Point(5, 0), Point(0, 1)]
+        assert min_pairwise_distance(points) == pytest.approx(1.0)
+
+    def test_max_pairwise_distance(self):
+        points = [Point(0, 0), Point(5, 0), Point(0, 1)]
+        assert max_pairwise_distance(points) == pytest.approx(math.sqrt(26))
+
+    def test_distance_ratio(self):
+        points = [Point(0, 0), Point(1, 0), Point(9, 0)]
+        assert distance_ratio(points) == pytest.approx(9.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            min_pairwise_distance([Point(0, 0)])
+        with pytest.raises(ValueError):
+            max_pairwise_distance([Point(0, 0)])
+
+    def test_distance_ratio_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            distance_ratio([Point(0, 0), Point(0, 0), Point(1, 1)])

@@ -1,0 +1,62 @@
+"""Tests for repro.geometry.region."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.geometry import Disc, Point, Rectangle
+
+
+class TestRectangle:
+    def test_contains_interior_and_boundary(self):
+        rect = Rectangle(0, 0, 10, 5)
+        assert rect.contains(Point(5, 2))
+        assert rect.contains(Point(0, 0))
+        assert rect.contains(Point(10, 5))
+        assert not rect.contains(Point(11, 2))
+
+    def test_area_and_dimensions(self):
+        rect = Rectangle(1, 2, 4, 6)
+        assert rect.width == pytest.approx(3)
+        assert rect.height == pytest.approx(4)
+        assert rect.area() == pytest.approx(12)
+
+    def test_square_factory(self):
+        square = Rectangle.square(5.0, origin=Point(1.0, 1.0))
+        assert square.x_max == pytest.approx(6.0)
+        assert square.area() == pytest.approx(25.0)
+
+    def test_square_rejects_nonpositive_side(self):
+        with pytest.raises(ValueError):
+            Rectangle.square(0.0)
+
+    def test_invalid_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Rectangle(5, 0, 0, 5)
+
+    def test_bounding_box_is_self(self):
+        rect = Rectangle(0, 0, 1, 1)
+        assert rect.bounding_box() is rect
+
+
+class TestDisc:
+    def test_contains(self):
+        disc = Disc(Point(0, 0), 2.0)
+        assert disc.contains(Point(1, 1))
+        assert disc.contains(Point(2, 0))
+        assert not disc.contains(Point(2.1, 0))
+
+    def test_area(self):
+        disc = Disc(Point(0, 0), 3.0)
+        assert disc.area() == pytest.approx(math.pi * 9.0)
+
+    def test_bounding_box(self):
+        box = Disc(Point(1, 2), 1.5).bounding_box()
+        assert box.x_min == pytest.approx(-0.5)
+        assert box.y_max == pytest.approx(3.5)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            Disc(Point(0, 0), -1.0)

@@ -1,0 +1,59 @@
+"""Tests for repro.geometry.spatial_index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry import GridIndex, Point, grid
+
+from .conftest import make_node
+
+
+class TestGridIndex:
+    def test_len_and_iter(self):
+        nodes = grid(9, spacing=2.0)
+        index = GridIndex(nodes)
+        assert len(index) == 9
+        assert {node.id for node in index} == {node.id for node in nodes}
+
+    def test_nodes_within_radius(self):
+        nodes = [make_node(0, 0, 0), make_node(1, 1, 0), make_node(2, 5, 0)]
+        index = GridIndex(nodes)
+        close = index.nodes_within(Point(0, 0), 1.5)
+        assert {node.id for node in close} == {0, 1}
+
+    def test_count_within_matches_nodes_within(self):
+        nodes = grid(25, spacing=1.0)
+        index = GridIndex(nodes)
+        center = Point(2.0, 2.0)
+        assert index.count_within(center, 2.0) == len(index.nodes_within(center, 2.0))
+
+    def test_radius_zero_only_exact_matches(self):
+        nodes = [make_node(0, 0, 0), make_node(1, 3, 3)]
+        index = GridIndex(nodes)
+        assert {n.id for n in index.nodes_within(Point(0, 0), 0.0)} == {0}
+
+    def test_negative_radius_rejected(self):
+        index = GridIndex([make_node(0, 0, 0)])
+        with pytest.raises(ValueError):
+            index.nodes_within(Point(0, 0), -1.0)
+
+    def test_invalid_cell_size_rejected(self):
+        with pytest.raises(ValueError):
+            GridIndex([], cell_size=0.0)
+
+    def test_nearest_neighbor(self):
+        nodes = [make_node(0, 0, 0), make_node(1, 1, 0), make_node(2, 10, 0)]
+        index = GridIndex(nodes)
+        nearest = index.nearest_neighbor(nodes[0])
+        assert nearest is not None and nearest.id == 1
+
+    def test_nearest_neighbor_far_nodes(self):
+        nodes = [make_node(0, 0, 0), make_node(1, 500, 0)]
+        index = GridIndex(nodes)
+        nearest = index.nearest_neighbor(nodes[0])
+        assert nearest is not None and nearest.id == 1
+
+    def test_nearest_neighbor_single_node(self):
+        only = make_node(0, 0, 0)
+        assert GridIndex([only]).nearest_neighbor(only) is None

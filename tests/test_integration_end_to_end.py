@@ -1,0 +1,120 @@
+"""End-to-end integration tests across the full pipeline.
+
+These tests exercise the complete paper pipeline on several deployments:
+build the initial tree distributively, reschedule it, build the efficient
+trees, and verify every structure against the physical channel.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    simulate_broadcast,
+    simulate_convergecast,
+    tree_sparsity,
+    validate_bitree,
+)
+from repro.baselines import CentralizedMSTBaseline, naive_tdma_schedule
+from repro.core import ConnectivityProtocol, degree_bounded_subset, upsilon
+from repro.geometry import clustered, exponential_chain, grid, two_scale, uniform_random
+from repro.sinr import SINRParameters
+
+
+@pytest.mark.parametrize(
+    "deployment",
+    [
+        pytest.param(lambda rng: uniform_random(36, rng), id="uniform"),
+        pytest.param(lambda rng: grid(36, rng, spacing=2.0, jitter=0.3), id="grid"),
+        pytest.param(lambda rng: clustered(36, rng, clusters=3), id="clustered"),
+        pytest.param(lambda rng: two_scale(30, rng, delta_target=1e4), id="two-scale"),
+        pytest.param(lambda rng: exponential_chain(14), id="exp-chain"),
+    ],
+)
+def test_initial_tree_valid_on_all_deployments(deployment):
+    params = SINRParameters()
+    rng = np.random.default_rng(77)
+    nodes = deployment(rng)
+    protocol = ConnectivityProtocol(params)
+    outcome = protocol.build_initial_tree(nodes, rng)
+    report = validate_bitree(outcome.tree, nodes, outcome.power, params)
+    assert report.ok, report.issues
+
+
+class TestFullPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self):
+        params = SINRParameters()
+        protocol = ConnectivityProtocol(params)
+        rng = np.random.default_rng(55)
+        nodes = uniform_random(48, rng)
+        initial = protocol.build_initial_tree(nodes, rng)
+        rescheduled = protocol.reschedule_with_mean_power(initial, rng)
+        efficient = protocol.build_efficient_tree(nodes, rng, power_mode="arbitrary")
+        return params, nodes, initial, rescheduled, efficient
+
+    def test_initial_tree_sparsity_is_logarithmic(self, pipeline):
+        _, nodes, initial, _, _ = pipeline
+        assert tree_sparsity(initial.tree) <= 4 * np.log2(len(nodes))
+
+    def test_degree_bounded_subset_is_large_and_sparser(self, pipeline):
+        _, _, initial, _, _ = pipeline
+        links = initial.tree.aggregation_links()
+        subset = degree_bounded_subset(links, 6)
+        assert subset.fraction >= 0.5
+
+    def test_rescheduled_schedule_feasible_and_covers_tree(self, pipeline):
+        params, _, initial, rescheduled, _ = pipeline
+        rescheduled.schedule.validate_covers(initial.tree.aggregation_links())
+        assert rescheduled.schedule.is_feasible(rescheduled.power, params)
+
+    def test_efficient_tree_valid(self, pipeline):
+        params, nodes, _, _, efficient = pipeline
+        report = validate_bitree(efficient.tree, nodes, efficient.power, params)
+        assert report.ok, report.issues
+
+    def test_efficient_schedule_beats_tdma_and_is_logarithmic_ish(self, pipeline):
+        _, nodes, _, _, efficient = pipeline
+        tdma = len(nodes) - 1
+        assert efficient.schedule_length < tdma
+        assert efficient.schedule_length <= 8 * np.log2(len(nodes))
+
+    def test_efficient_schedule_not_longer_than_initial(self, pipeline):
+        _, _, initial, _, efficient = pipeline
+        assert efficient.schedule_length <= initial.tree.aggregation_schedule.length
+
+    def test_convergecast_and_broadcast_work_on_efficient_tree(self, pipeline):
+        params, _, _, _, efficient = pipeline
+        up = simulate_convergecast(efficient.tree, efficient.power, params)
+        down = simulate_broadcast(efficient.tree, efficient.power, params)
+        assert up.correct and down.complete
+
+    def test_centralized_baseline_comparable(self, pipeline):
+        params, nodes, _, _, efficient = pipeline
+        baseline = CentralizedMSTBaseline(params).build(nodes)
+        # The distributed power-control schedule should be within a small
+        # factor of the centralized mean-power baseline.
+        assert efficient.schedule_length <= 4 * max(baseline.schedule_length, 1)
+
+
+class TestMeanPowerPipeline:
+    def test_mean_mode_tracks_upsilon_bound(self):
+        params = SINRParameters()
+        protocol = ConnectivityProtocol(params)
+        rng = np.random.default_rng(66)
+        nodes = uniform_random(40, rng)
+        outcome = protocol.build_efficient_tree(nodes, rng, power_mode="mean")
+        assert outcome.aggregation_feasible
+        bound = upsilon(len(nodes), max(outcome.delta, 1.0)) * np.log2(len(nodes))
+        assert outcome.schedule_length <= 2 * bound
+
+    def test_high_delta_instance_mean_vs_arbitrary(self):
+        params = SINRParameters()
+        protocol = ConnectivityProtocol(params)
+        rng = np.random.default_rng(88)
+        nodes = two_scale(32, rng, delta_target=1e6)
+        arbitrary = protocol.build_efficient_tree(nodes, rng, power_mode="arbitrary")
+        tdma = naive_tdma_schedule(arbitrary.tree.aggregation_links(), params)
+        assert arbitrary.aggregation_feasible
+        assert arbitrary.schedule_length < tdma.schedule_length

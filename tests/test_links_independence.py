@@ -1,0 +1,69 @@
+"""Tests for repro.links.independence (Appendix A)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.links import (
+    Link,
+    LinkSet,
+    are_q_independent,
+    is_q_independent_set,
+    partition_into_independent_sets,
+)
+
+from .conftest import make_node
+
+
+class TestPairwiseIndependence:
+    def test_far_apart_links_are_independent(self):
+        first = Link(make_node(0, 0, 0), make_node(1, 1, 0))
+        second = Link(make_node(2, 100, 0), make_node(3, 101, 0))
+        assert are_q_independent(first, second, q=2.0)
+
+    def test_adjacent_links_are_not_independent(self):
+        shared = make_node(1, 1, 0)
+        first = Link(make_node(0, 0, 0), shared)
+        second = Link(shared, make_node(2, 2, 0))
+        assert not are_q_independent(first, second, q=1.0)
+
+    def test_symmetry(self):
+        first = Link(make_node(0, 0, 0), make_node(1, 2, 0))
+        second = Link(make_node(2, 10, 0), make_node(3, 13, 0))
+        assert are_q_independent(first, second, 1.5) == are_q_independent(second, first, 1.5)
+
+    def test_q_monotonicity(self):
+        first = Link(make_node(0, 0, 0), make_node(1, 1, 0))
+        second = Link(make_node(2, 6, 0), make_node(3, 7, 0))
+        assert are_q_independent(first, second, q=1.0)
+        assert not are_q_independent(first, second, q=10.0)
+
+    def test_invalid_q(self):
+        first = Link(make_node(0, 0, 0), make_node(1, 1, 0))
+        second = Link(make_node(2, 5, 0), make_node(3, 6, 0))
+        with pytest.raises(ValueError):
+            are_q_independent(first, second, q=0.0)
+
+
+class TestSetsAndPartition:
+    def test_is_q_independent_set(self, far_apart_links):
+        assert is_q_independent_set(far_apart_links, q=2.0)
+
+    def test_chain_is_not_independent(self, chain_links):
+        assert not is_q_independent_set(chain_links, q=1.0)
+
+    def test_partition_covers_all_links(self, chain_links):
+        classes = partition_into_independent_sets(chain_links, q=1.0)
+        total = sum(len(cls) for cls in classes)
+        assert total == len(chain_links)
+
+    def test_partition_classes_are_independent(self, chain_links):
+        for cls in partition_into_independent_sets(chain_links, q=1.0):
+            assert is_q_independent_set(cls, q=1.0)
+
+    def test_partition_of_spread_links_is_single_class(self, far_apart_links):
+        classes = partition_into_independent_sets(far_apart_links, q=2.0)
+        assert len(classes) == 1
+
+    def test_partition_of_empty_set(self):
+        assert partition_into_independent_sets(LinkSet(), q=1.0) == []

@@ -1,0 +1,63 @@
+"""Tests for repro.links.length_classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.links import Link, length_class_index, num_length_classes, partition_by_length_class
+
+from .conftest import make_node
+
+
+class TestLengthClassIndex:
+    def test_class_zero_covers_unit_lengths(self):
+        assert length_class_index(1.0) == 0
+        assert length_class_index(1.9) == 0
+
+    def test_doubling_boundaries(self):
+        assert length_class_index(2.0) == 1
+        assert length_class_index(3.99) == 1
+        assert length_class_index(4.0) == 2
+
+    def test_custom_min_length(self):
+        assert length_class_index(10.0, min_length=5.0) == 1
+        assert length_class_index(5.0, min_length=5.0) == 0
+
+    def test_below_minimum_rejected(self):
+        with pytest.raises(ValueError):
+            length_class_index(0.5, min_length=1.0)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            length_class_index(0.0)
+        with pytest.raises(ValueError):
+            length_class_index(1.0, min_length=0.0)
+
+
+class TestPartition:
+    def test_partition_groups_by_factor_two(self):
+        nodes = [make_node(0, 0, 0), make_node(1, 1, 0), make_node(2, 3, 0), make_node(3, 9, 0)]
+        links = [Link(nodes[0], nodes[1]), Link(nodes[0], nodes[2]), Link(nodes[0], nodes[3])]
+        classes = partition_by_length_class(links)
+        assert sorted(classes) == [0, 1, 3]
+        assert len(classes[0]) == 1
+
+    def test_lengths_within_class_differ_by_at_most_two(self):
+        nodes = [make_node(i, 1.3**i, 0.0) for i in range(12)]
+        links = [Link(nodes[0], nodes[i]) for i in range(1, 12)]
+        for class_links in partition_by_length_class(links, min_length=0.25).values():
+            lengths = class_links.lengths()
+            assert max(lengths) / min(lengths) <= 2.0 + 1e-9
+
+
+class TestNumClasses:
+    def test_small_delta(self):
+        assert num_length_classes(1.0) == 1
+        assert num_length_classes(2.0) == 2
+
+    def test_large_delta(self):
+        assert num_length_classes(1024.0) == 11
+
+    def test_invalid_delta(self):
+        with pytest.raises(ValueError):
+            num_length_classes(0.5)

@@ -1,0 +1,51 @@
+"""Tests for repro.links.link."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.links import Link
+
+from .conftest import make_node
+
+
+class TestLink:
+    def test_length(self):
+        link = Link(make_node(0, 0, 0), make_node(1, 3, 4))
+        assert link.length == pytest.approx(5.0)
+
+    def test_dual_swaps_endpoints(self):
+        link = Link(make_node(0, 0, 0), make_node(1, 1, 0))
+        dual = link.dual
+        assert dual.sender.id == 1
+        assert dual.receiver.id == 0
+        assert dual.length == pytest.approx(link.length)
+
+    def test_dual_of_dual_is_original(self):
+        link = Link(make_node(0, 0, 0), make_node(1, 2, 2))
+        assert link.dual.dual == link
+
+    def test_self_loop_rejected(self):
+        node = make_node(0, 0, 0)
+        with pytest.raises(ValueError):
+            Link(node, node)
+
+    def test_endpoint_ids(self):
+        link = Link(make_node(4, 0, 0), make_node(9, 1, 1))
+        assert link.endpoint_ids == (4, 9)
+
+    def test_shares_node_with(self):
+        a, b, c, d = (make_node(i, float(i), 0.0) for i in range(4))
+        assert Link(a, b).shares_node_with(Link(b, c))
+        assert not Link(a, b).shares_node_with(Link(c, d))
+
+    def test_is_dual_of(self):
+        a, b = make_node(0, 0, 0), make_node(1, 1, 0)
+        assert Link(a, b).is_dual_of(Link(b, a))
+        assert not Link(a, b).is_dual_of(Link(a, b))
+
+    def test_links_hashable_and_comparable(self):
+        a, b = make_node(0, 0, 0), make_node(1, 1, 0)
+        link = Link(a, b)
+        assert link in {Link(a, b)}
+        assert Link(a, b) == Link(a, b)

@@ -1,0 +1,120 @@
+"""Tests for repro.links.linkset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.links import Link, LinkSet
+
+from .conftest import make_node
+
+
+def _chain(count: int) -> list[Link]:
+    nodes = [make_node(i, float(i), 0.0) for i in range(count + 1)]
+    return [Link(nodes[i], nodes[i + 1]) for i in range(count)]
+
+
+class TestConstruction:
+    def test_deduplicates(self):
+        links = _chain(3)
+        link_set = LinkSet(links + links)
+        assert len(link_set) == 3
+
+    def test_add_returns_flag(self):
+        link_set = LinkSet()
+        link = _chain(1)[0]
+        assert link_set.add(link) is True
+        assert link_set.add(link) is False
+
+    def test_union_preserves_both(self):
+        first, second = LinkSet(_chain(2)), LinkSet(_chain(4)[2:])
+        union = first.union(second)
+        assert len(union) == 4
+
+    def test_filtered(self):
+        link_set = LinkSet(_chain(4))
+        short = link_set.filtered(lambda link: link.length <= 1.0)
+        assert len(short) == 4  # all chain links have length 1
+
+    def test_without(self):
+        links = _chain(3)
+        remaining = LinkSet(links).without([links[0]])
+        assert len(remaining) == 2
+        assert links[0] not in remaining
+
+    def test_duals(self):
+        link_set = LinkSet(_chain(2))
+        duals = link_set.duals()
+        assert all(link.dual in link_set for link in duals)
+
+
+class TestQueries:
+    def test_senders_receivers_nodes(self):
+        links = _chain(3)
+        link_set = LinkSet(links)
+        assert {n.id for n in link_set.senders()} == {0, 1, 2}
+        assert {n.id for n in link_set.receivers()} == {1, 2, 3}
+        assert len(link_set.nodes()) == 4
+
+    def test_degrees(self):
+        link_set = LinkSet(_chain(3))
+        degrees = link_set.degrees()
+        assert degrees[0] == 1
+        assert degrees[1] == 2
+        assert link_set.max_degree() == 2
+
+    def test_degree_accepts_node_or_id(self):
+        links = _chain(2)
+        link_set = LinkSet(links)
+        assert link_set.degree(1) == 2
+        assert link_set.degree(links[0].sender) == 1
+
+    def test_incident_outgoing_incoming(self):
+        links = _chain(3)
+        link_set = LinkSet(links)
+        assert len(link_set.incident_links(1)) == 2
+        assert len(link_set.outgoing(1)) == 1
+        assert len(link_set.incoming(1)) == 1
+
+    def test_induced_by_nodes(self):
+        links = _chain(4)
+        link_set = LinkSet(links)
+        induced = link_set.induced_by_nodes([0, 1, 2])
+        assert len(induced) == 2
+
+    def test_contains_and_getitem(self):
+        links = _chain(2)
+        link_set = LinkSet(links)
+        assert links[0] in link_set
+        assert link_set[1] == links[1]
+
+    def test_equality_ignores_order(self):
+        links = _chain(3)
+        assert LinkSet(links) == LinkSet(reversed(links))
+
+
+class TestLengthQueries:
+    def test_min_max_length(self):
+        nodes = [make_node(0, 0, 0), make_node(1, 1, 0), make_node(2, 4, 0)]
+        link_set = LinkSet([Link(nodes[0], nodes[1]), Link(nodes[1], nodes[2])])
+        assert link_set.min_length() == pytest.approx(1.0)
+        assert link_set.max_length() == pytest.approx(3.0)
+
+    def test_empty_length_queries_raise(self):
+        with pytest.raises(ValueError):
+            LinkSet().min_length()
+        with pytest.raises(ValueError):
+            LinkSet().max_length()
+
+    def test_longer_than(self):
+        nodes = [make_node(0, 0, 0), make_node(1, 1, 0), make_node(2, 5, 0)]
+        link_set = LinkSet([Link(nodes[0], nodes[1]), Link(nodes[0], nodes[2])])
+        assert len(link_set.longer_than(2.0)) == 1
+
+    def test_sorted_by_length(self):
+        nodes = [make_node(0, 0, 0), make_node(1, 3, 0), make_node(2, 1, 0)]
+        link_set = LinkSet([Link(nodes[0], nodes[1]), Link(nodes[0], nodes[2])])
+        ordered = link_set.sorted_by_length()
+        assert ordered[0].length <= ordered[1].length
+        reverse = link_set.sorted_by_length(descending=True)
+        assert reverse[0].length >= reverse[1].length

@@ -1,0 +1,213 @@
+"""Property-based tests (hypothesis) on the core data structures and physics.
+
+These check the invariants the paper's analysis leans on, over randomly
+generated geometry rather than hand-picked examples:
+
+* affectance is correctly thresholded, zero on self, and the matrix form
+  agrees with the scalar form;
+* feasibility is monotone under removing links and under increasing the
+  interferer-to-receiver distances;
+* the duality relation between a link's uniform-power affectance and its
+  dual's linear-power affectance (Claim 8.3) holds up to the cap;
+* length classes, sparsity and q-independence behave as set-level invariants;
+* schedules never lose links under normalization/reversal.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core import Schedule
+from repro.geometry import Node, Point
+from repro.links import (
+    Link,
+    LinkSet,
+    are_q_independent,
+    length_class_index,
+    partition_by_length_class,
+    partition_into_independent_sets,
+    sparsity,
+)
+from repro.sinr import (
+    LinearPower,
+    SINRParameters,
+    UniformPower,
+    affectance,
+    affectance_between_links,
+    affectance_matrix,
+    is_feasible,
+)
+
+PARAMS = SINRParameters(alpha=3.0, beta=1.5, noise=1.0, epsilon=0.1)
+
+# Coordinates are drawn on a modest grid so distances stay in a sane range and
+# the minimum separation of 1.0 (the paper's normalization) can be enforced.
+coordinate = st.integers(min_value=-30, max_value=30).map(float)
+
+
+@st.composite
+def distinct_points(draw, count: int) -> list[Point]:
+    points: list[Point] = []
+    attempts = 0
+    while len(points) < count and attempts < 200:
+        attempts += 1
+        candidate = Point(draw(coordinate), draw(coordinate))
+        if all(candidate.distance_to(existing) >= 1.0 for existing in points):
+            points.append(candidate)
+    assume(len(points) == count)
+    return points
+
+
+@st.composite
+def random_links(draw, min_links: int = 2, max_links: int = 6) -> list[Link]:
+    count = draw(st.integers(min_value=min_links, max_value=max_links))
+    points = draw(distinct_points(2 * count))
+    nodes = [Node(i, point) for i, point in enumerate(points)]
+    return [Link(nodes[2 * i], nodes[2 * i + 1]) for i in range(count)]
+
+
+class TestAffectanceProperties:
+    @given(random_links())
+    @settings(max_examples=60, deadline=None)
+    def test_matrix_matches_scalar_and_is_capped(self, links):
+        power = UniformPower.for_max_length(PARAMS, max(link.length for link in links))
+        matrix = affectance_matrix(links, power, PARAMS)
+        cap = 1.0 + PARAMS.epsilon
+        for i, source in enumerate(links):
+            for j, target in enumerate(links):
+                assert matrix[i, j] <= cap + 1e-12
+                if i == j or source.sender.id == target.sender.id:
+                    assert matrix[i, j] == 0.0
+                else:
+                    scalar = affectance_between_links(source, target, power, PARAMS)
+                    assert math.isclose(matrix[i, j], scalar, rel_tol=1e-9, abs_tol=1e-12)
+
+    @given(random_links(), st.floats(min_value=1.5, max_value=20.0))
+    @settings(max_examples=40, deadline=None)
+    def test_affectance_decreases_when_interferer_moves_away(self, links, factor):
+        link = links[0]
+        interferer = links[1].sender
+        assume(interferer.distance_to(link.receiver) > 0.5)
+        power = PARAMS.min_power_for(link.length)
+        near = affectance(interferer, power, link, power, PARAMS)
+        receiver = link.receiver
+        direction_x = interferer.x - receiver.x
+        direction_y = interferer.y - receiver.y
+        moved = Node(
+            interferer.id,
+            Point(receiver.x + direction_x * factor, receiver.y + direction_y * factor),
+        )
+        far = affectance(moved, power, link, power, PARAMS)
+        assert far <= near + 1e-12
+
+    @given(random_links())
+    @settings(max_examples=40, deadline=None)
+    def test_duality_relation_up_to_cap(self, links):
+        # Claim 8.3: under linear power on duals vs uniform power on originals,
+        # the two affectances agree up to a constant; with identical link
+        # lengths on both sides of the dual pair the uncapped values coincide.
+        linear = LinearPower.for_noise(PARAMS)
+        uniform = UniformPower.for_max_length(PARAMS, max(link.length for link in links))
+        cap = 1.0 + PARAMS.epsilon
+        first, second = links[0], links[1]
+        forward = affectance_between_links(first, second, uniform, PARAMS)
+        dual = affectance_between_links(second.dual, first.dual, linear, PARAMS)
+        if forward < cap and dual < cap:
+            ratio_bound = 16.0  # loose constant absorbing the c(u,v) spread
+            assert dual <= ratio_bound * forward + 1e-9 or forward <= 1e-9
+            assert forward <= ratio_bound * dual + 1e-9 or dual <= 1e-9
+
+
+class TestFeasibilityProperties:
+    @given(random_links(min_links=3, max_links=6))
+    @settings(max_examples=50, deadline=None)
+    def test_feasibility_monotone_under_subsets(self, links):
+        power = UniformPower.for_max_length(PARAMS, max(link.length for link in links))
+        if is_feasible(links, power, PARAMS):
+            assert is_feasible(links[:-1], power, PARAMS)
+            assert is_feasible(links[1:], power, PARAMS)
+
+    @given(random_links(min_links=2, max_links=5))
+    @settings(max_examples=50, deadline=None)
+    def test_singletons_with_adequate_power_are_feasible(self, links):
+        for link in links:
+            power = UniformPower(PARAMS.min_power_for(link.length))
+            assert is_feasible([link], power, PARAMS)
+
+    @given(random_links(min_links=2, max_links=5), st.floats(min_value=10.0, max_value=100.0))
+    @settings(max_examples=40, deadline=None)
+    def test_spreading_links_apart_preserves_feasibility(self, links, shift):
+        power = UniformPower.for_max_length(PARAMS, max(link.length for link in links))
+        spread = []
+        for index, link in enumerate(links):
+            offset = index * shift * max(link.length for link in links)
+            spread.append(
+                Link(
+                    Node(link.sender.id, Point(link.sender.x + offset, link.sender.y)),
+                    Node(link.receiver.id, Point(link.receiver.x + offset, link.receiver.y)),
+                )
+            )
+        if is_feasible(links, power, PARAMS):
+            assert is_feasible(spread, power, PARAMS)
+
+
+class TestLinkSetProperties:
+    @given(random_links(min_links=2, max_links=8))
+    @settings(max_examples=50, deadline=None)
+    def test_length_class_partition_is_a_partition(self, links):
+        shortest = min(link.length for link in links)
+        classes = partition_by_length_class(links, min_length=shortest)
+        total = sum(len(class_links) for class_links in classes.values())
+        assert total == len(LinkSet(links))
+        for index, class_links in classes.items():
+            for link in class_links:
+                assert length_class_index(link.length, shortest) == index
+
+    @given(random_links(min_links=2, max_links=8))
+    @settings(max_examples=50, deadline=None)
+    def test_duals_preserve_lengths_and_sparsity(self, links):
+        link_set = LinkSet(links)
+        duals = link_set.duals()
+        assert sorted(link.length for link in link_set) == sorted(link.length for link in duals)
+        assert sparsity(link_set).psi == sparsity(duals).psi
+
+    @given(random_links(min_links=2, max_links=7), st.floats(min_value=0.5, max_value=3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_independent_partition_is_valid(self, links, q):
+        link_set = LinkSet(links)
+        classes = partition_into_independent_sets(link_set, q)
+        assert sum(len(cls) for cls in classes) == len(link_set)
+        for cls in classes:
+            members = list(cls)
+            for i, first in enumerate(members):
+                for second in members[i + 1 :]:
+                    assert are_q_independent(first, second, q)
+
+    @given(random_links(min_links=2, max_links=8))
+    @settings(max_examples=50, deadline=None)
+    def test_sparsity_monotone_under_subsets(self, links):
+        link_set = LinkSet(links)
+        subset = LinkSet(links[:-1])
+        assert sparsity(subset).psi <= sparsity(link_set).psi
+
+
+class TestScheduleProperties:
+    @given(random_links(min_links=2, max_links=8), st.lists(st.integers(0, 20), min_size=8, max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_normalization_and_reversal_preserve_links(self, links, slots):
+        schedule = Schedule({link: slots[i] for i, link in enumerate(links)})
+        assert len(schedule.normalized()) == len(schedule)
+        assert schedule.normalized().length == schedule.length
+        assert schedule.reversed().length == schedule.length
+        # Normalized slots are exactly 0..length-1.
+        assert schedule.normalized().used_slots() == list(range(schedule.length))
+
+    @given(random_links(min_links=2, max_links=6))
+    @settings(max_examples=40, deadline=None)
+    def test_one_link_per_slot_is_always_feasible_with_adequate_power(self, links):
+        power = UniformPower.for_max_length(PARAMS, max(link.length for link in links))
+        schedule = Schedule({link: index for index, link in enumerate(links)})
+        assert schedule.is_feasible(power, PARAMS)

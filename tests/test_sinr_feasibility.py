@@ -1,0 +1,85 @@
+"""Tests for repro.sinr.feasibility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.links import Link
+from repro.sinr import (
+    UniformPower,
+    duplicate_senders,
+    feasibility_report,
+    is_feasible,
+    is_schedulable_slot,
+    sinr_values,
+    violates_half_duplex,
+)
+
+from .conftest import make_node
+
+
+class TestStructuralChecks:
+    def test_half_duplex_violation_detected(self):
+        a, b, c = make_node(0, 0, 0), make_node(1, 1, 0), make_node(2, 2, 0)
+        assert violates_half_duplex([Link(a, b), Link(b, c)])
+        assert not violates_half_duplex([Link(a, b), Link(c, make_node(3, 3, 0))])
+
+    def test_duplicate_senders_detected(self):
+        a = make_node(0, 0, 0)
+        links = [Link(a, make_node(1, 1, 0)), Link(a, make_node(2, 0, 1))]
+        assert duplicate_senders(links)
+        assert not duplicate_senders(links[:1])
+
+
+class TestFeasibility:
+    def test_far_apart_links_are_feasible(self, params, far_apart_links):
+        power = UniformPower.for_max_length(params, 1.0)
+        assert is_feasible(list(far_apart_links), power, params)
+
+    def test_chain_is_infeasible_in_one_slot(self, params, chain_links):
+        power = UniformPower.for_max_length(params, 1.0)
+        assert not is_feasible(list(chain_links), power, params)
+
+    def test_single_link_with_sufficient_power(self, params):
+        link = Link(make_node(0, 0, 0), make_node(1, 2, 0))
+        power = UniformPower.for_max_length(params, 2.0)
+        assert is_feasible([link], power, params)
+
+    def test_single_link_with_insufficient_power_fails(self, params):
+        link = Link(make_node(0, 0, 0), make_node(1, 2, 0))
+        assert not is_feasible([link], UniformPower(1e-6), params)
+
+    def test_empty_set_is_feasible(self, params):
+        assert is_feasible([], UniformPower(1.0), params)
+
+    def test_sinr_values_match_threshold(self, params, far_apart_links):
+        power = UniformPower.for_max_length(params, 1.0)
+        values = sinr_values(list(far_apart_links), power, params)
+        assert (values >= params.beta).all()
+
+    def test_feasibility_report_fields(self, params, far_apart_links):
+        power = UniformPower.for_max_length(params, 1.0)
+        report = feasibility_report(list(far_apart_links), power, params)
+        assert report.feasible
+        assert report.sinr_ok and report.half_duplex_ok and report.senders_ok
+        assert 0.0 <= report.worst_affectance <= 1.0
+
+    def test_structure_check_rejects_shared_nodes(self, params):
+        a, b, c = make_node(0, 0, 0), make_node(1, 200, 0), make_node(2, 400, 0)
+        links = [Link(a, b), Link(b, c)]
+        power = UniformPower.for_max_length(params, 200.0)
+        # SINR-wise this may pass, but a node cannot send and receive at once.
+        assert not is_schedulable_slot(links, power, params)
+
+    def test_feasible_subset_of_feasible_set(self, params, far_apart_links):
+        # Feasibility is monotone under taking subsets.
+        power = UniformPower.for_max_length(params, 1.0)
+        links = list(far_apart_links)
+        assert is_feasible(links, power, params)
+        assert is_feasible(links[:2], power, params)
+
+    def test_report_identifies_worst_link(self, params, chain_links):
+        power = UniformPower.for_max_length(params, 1.0)
+        report = feasibility_report(list(chain_links), power, params)
+        assert report.worst_link_index is not None
+        assert 0 <= report.worst_link_index < len(chain_links)

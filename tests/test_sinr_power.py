@@ -1,0 +1,112 @@
+"""Tests for repro.sinr.power."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.links import Link
+from repro.sinr import (
+    ExplicitPower,
+    LinearPower,
+    MeanPower,
+    SINRParameters,
+    UniformPower,
+    link_cost,
+    oblivious_power_by_name,
+)
+
+from .conftest import make_node
+
+
+def _link(length: float) -> Link:
+    return Link(make_node(0, 0, 0), make_node(1, length, 0))
+
+
+class TestUniformPower:
+    def test_constant_level(self):
+        power = UniformPower(5.0)
+        assert power.power(_link(1.0)) == 5.0
+        assert power.power(_link(9.0)) == 5.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            UniformPower(0.0)
+
+    def test_for_max_length_overcomes_noise(self, params):
+        power = UniformPower.for_max_length(params, 8.0)
+        assert link_cost(_link(8.0), power.power(_link(8.0)), params) <= 2 * params.beta + 1e-9
+
+    def test_powers_vector(self):
+        power = UniformPower(2.0)
+        assert power.powers([_link(1.0), _link(2.0)]) == [2.0, 2.0]
+
+
+class TestObliviousPowers:
+    def test_mean_power_scaling(self):
+        power = MeanPower(alpha=4.0, scale=1.0)
+        assert power.power(_link(4.0)) == pytest.approx(4.0**2.0)
+
+    def test_linear_power_scaling(self):
+        power = LinearPower(alpha=3.0, scale=2.0)
+        assert power.power(_link(2.0)) == pytest.approx(2.0 * 8.0)
+
+    def test_mean_for_max_length_safe_for_all_shorter_links(self, params):
+        power = MeanPower.for_max_length(params, 16.0)
+        for length in (1.0, 2.0, 8.0, 16.0):
+            cost = link_cost(_link(length), power.power(_link(length)), params)
+            assert cost <= 2 * params.beta + 1e-9
+
+    def test_linear_for_noise_safe_for_any_length(self, params):
+        power = LinearPower.for_noise(params)
+        for length in (1.0, 10.0, 1000.0):
+            cost = link_cost(_link(length), power.power(_link(length)), params)
+            assert cost <= 2 * params.beta + 1e-9
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeanPower(alpha=3.0, scale=0.0)
+
+    def test_zero_noise_factories(self):
+        params = SINRParameters(noise=0.0)
+        assert MeanPower.for_max_length(params, 10.0).scale == 1.0
+        assert LinearPower.for_noise(params).scale == 1.0
+
+    def test_registry(self, params):
+        for name in ("uniform", "mean", "linear"):
+            assignment = oblivious_power_by_name(name, params, max_length=8.0)
+            assert assignment.power(_link(2.0)) > 0.0
+        with pytest.raises(ConfigurationError):
+            oblivious_power_by_name("bogus", params, max_length=8.0)
+
+
+class TestExplicitPower:
+    def test_lookup_by_link_and_tuple_keys(self):
+        link = _link(2.0)
+        by_tuple = ExplicitPower({link.endpoint_ids: 7.0})
+        by_link = ExplicitPower({link: 7.0})
+        assert by_tuple.power(link) == 7.0
+        assert by_link.power(link) == 7.0
+
+    def test_missing_link_raises_without_fallback(self):
+        power = ExplicitPower({})
+        with pytest.raises(KeyError):
+            power.power(_link(1.0))
+
+    def test_fallback_consulted(self):
+        power = ExplicitPower({}, fallback=UniformPower(3.0))
+        assert power.power(_link(1.0)) == 3.0
+
+    def test_set_power_and_as_dict(self):
+        link = _link(2.0)
+        power = ExplicitPower({})
+        power.set_power(link, 4.0)
+        assert power.as_dict() == {link.endpoint_ids: 4.0}
+        assert len(power) == 1
+
+    def test_nonpositive_rejected(self):
+        link = _link(1.0)
+        with pytest.raises(ConfigurationError):
+            ExplicitPower({link: 0.0})
+        with pytest.raises(ConfigurationError):
+            ExplicitPower({}).set_power(link, -1.0)
