@@ -1,0 +1,16 @@
+"""Repo-root pytest bootstrap.
+
+Makes the ``repro`` package importable straight from ``src/`` when the
+project has not been ``pip install -e .``-ed, so both ``pytest`` and
+``pytest benchmarks`` work without a manual ``PYTHONPATH=src`` prefix.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:
+    sys.path.insert(0, str(Path(__file__).resolve().parent / "src"))

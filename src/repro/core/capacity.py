@@ -29,16 +29,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
-import numpy as np
-
 from ..links import Link, LinkSet
 from ..sinr import (
+    AffectanceAccumulator,
     LinearPower,
+    LinkArrayCache,
     PowerAssignment,
     SINRParameters,
     UniformPower,
     affectance_between_links,
-    affectance_matrix,
 )
 from .schedule import Schedule
 
@@ -107,20 +106,23 @@ def select_feasible_subset(
 
     uniform = _default_uniform(link_list, params)
     linear = _default_linear(params)
+    # Both pairwise affectance matrices are computed once over the candidate
+    # universe; the greedy loop then runs on incremental accumulators: O(1)
+    # admission tests and one O(m) row/column update per accepted link,
+    # instead of rescanning the selected set per candidate.
+    cache = LinkArrayCache(link_list)
+    incoming = AffectanceAccumulator(cache.affectance_matrix(linear, params))
+    outgoing = AffectanceAccumulator(cache.affectance_matrix(uniform, params).T)
     selected: list[Link] = []
     used_nodes: set[int] = set()
-    for candidate in link_list:
+    for index, candidate in enumerate(link_list):
         if exclusive_nodes and (
             candidate.sender.id in used_nodes or candidate.receiver.id in used_nodes
         ):
             continue
-        incoming = sum(
-            affectance_between_links(existing, candidate, linear, params) for existing in selected
-        )
-        outgoing = sum(
-            affectance_between_links(candidate, existing, uniform, params) for existing in selected
-        )
-        if incoming + outgoing <= tau:
+        if incoming.total(index) + outgoing.total(index) <= tau:
+            incoming.add(index)
+            outgoing.add(index)
             selected.append(candidate)
             used_nodes.add(candidate.sender.id)
             used_nodes.add(candidate.receiver.id)
@@ -200,31 +202,37 @@ def first_fit_schedule(
     slot where (a) the slot's total affectance on every member, including the
     newcomer, stays at most 1, and (b) optionally no node is reused within the
     slot.  A new slot is opened when no existing slot fits.
+
+    The pairwise affectance matrix is computed once over the whole input;
+    each slot keeps an incremental :class:`AffectanceAccumulator`, so a
+    placement test costs O(slot size) and an accepted link one O(m) vector
+    update - the seed implementation rebuilt the full slot matrix per test.
     """
     link_list = sorted(links, key=lambda link: (-link.length, link.endpoint_ids))
     schedule = Schedule()
-    slot_members: list[list[Link]] = []
+    cache = LinkArrayCache(link_list)
+    matrix = cache.affectance_matrix(power, params)
+    slot_accumulators: list[AffectanceAccumulator] = []
     slot_nodes: list[set[int]] = []
-    for link in link_list:
+    for index, link in enumerate(link_list):
         placed = False
-        for slot_index, members in enumerate(slot_members):
+        for slot_index, accumulator in enumerate(slot_accumulators):
             if exclusive_nodes and (
                 link.sender.id in slot_nodes[slot_index]
                 or link.receiver.id in slot_nodes[slot_index]
             ):
                 continue
-            candidate = members + [link]
-            matrix = affectance_matrix(candidate, power, params)
-            if float(matrix.sum(axis=0).max()) <= 1.0 + 1e-9:
-                members.append(link)
+            if accumulator.max_total_with(index) <= 1.0 + 1e-9:
+                accumulator.add(index)
                 slot_nodes[slot_index].update(link.endpoint_ids)
                 schedule.assign(link, slot_index)
                 placed = True
                 break
         if not placed:
-            slot_members.append([link])
+            accumulator = AffectanceAccumulator(matrix, members=(index,))
+            slot_accumulators.append(accumulator)
             slot_nodes.append(set(link.endpoint_ids))
-            schedule.assign(link, len(slot_members) - 1)
+            schedule.assign(link, len(slot_accumulators) - 1)
     return schedule
 
 

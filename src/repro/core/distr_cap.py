@@ -34,7 +34,7 @@ import numpy as np
 
 from ..constants import DEFAULT_CONSTANTS, AlgorithmConstants
 from ..links import Link, LinkSet, length_class_index
-from ..sinr import LinearPower, SINRParameters, affectance
+from ..sinr import LinearPower, LinkArrayCache, SINRParameters
 from .power_solver import is_power_controllable
 
 __all__ = ["DistrCapResult", "DistrCapSelector"]
@@ -186,33 +186,38 @@ class DistrCapSelector:
         # All transmitters in this slot: the selected set plus the attempting
         # candidates, each transmitting on its (oriented) link with linear
         # power.  Linear power of a link equals that of its dual (same length).
-        transmitters: list[tuple[Link, float]] = []
+        # Only the transmitters x attempting block of pairwise affectances is
+        # ever read, so compute exactly that from the slot's LinkArrayCache
+        # (same-sender pairs are zero there, matching the scalar rule that a
+        # sender does not affect itself).
+        universe = [oriented(link) for link in list(selected) + list(attempting)]
+        transmitter_indices: list[int] = []
         seen_senders: set[int] = set()
-        for link in list(selected) + list(attempting):
-            o = oriented(link)
+        for index, o in enumerate(universe):
             if o.sender.id in seen_senders:
                 continue
             seen_senders.add(o.sender.id)
-            transmitters.append((o, linear.power(o)))
+            transmitter_indices.append(index)
+
+        cache = LinkArrayCache(universe)
+        offset = len(universe) - len(attempting)
+        block = cache.affectance_block(
+            transmitter_indices, np.arange(offset, len(universe)), linear, self.params
+        )
 
         survivors: list[Link] = []
-        for link in attempting:
-            target = oriented(link)
+        for position, link in enumerate(attempting):
+            target = universe[offset + position]
             if target.receiver.id in seen_senders:
                 # The receiving endpoint is itself transmitting in this slot;
                 # it cannot measure anything (half-duplex).
                 continue
+            # Accumulate in transmitter order with the seed's early exit so
+            # the floating-point comparison against the threshold is
+            # reproduced exactly.
             total = 0.0
-            for interferer, power_level in transmitters:
-                if interferer.sender.id == target.sender.id:
-                    continue
-                total += affectance(
-                    interferer=interferer.sender,
-                    interferer_power=power_level,
-                    link=target,
-                    link_power=linear.power(target),
-                    params=self.params,
-                )
+            for value in block[:, position]:
+                total += value
                 if total > threshold:
                     break
             if total <= threshold:

@@ -33,7 +33,14 @@ import numpy as np
 from ..constants import DEFAULT_CONSTANTS, AlgorithmConstants
 from ..exceptions import ConvergenceError
 from ..links import Link, LinkSet
-from ..sinr import Channel, PowerAssignment, SINRParameters, Transmission
+from ..sinr import (
+    MAX_CACHED_CHANNEL_NODES,
+    CachedChannel,
+    Channel,
+    PowerAssignment,
+    SINRParameters,
+    Transmission,
+)
 from .schedule import Schedule
 
 __all__ = ["DistributedScheduler", "DistributedScheduleResult"]
@@ -65,6 +72,9 @@ class _LinkContender:
         self.probability = probability
         self.rng = rng
         self.scheduled_frame: int | None = None
+        # Transmit power, fixed for the whole run; filled in by the scheduler
+        # so the per-frame hot loop does not re-evaluate the assignment.
+        self.power: float = 1.0
 
     @property
     def done(self) -> bool:
@@ -137,7 +147,21 @@ class DistributedScheduler:
                 link_list, rng.integers(0, 2**63 - 1, size=len(link_list), dtype=np.int64)
             )
         ]
-        channel = Channel(self.params)
+        for contender in contenders:
+            contender.power = power.power(contender.link)
+        # The frame simulation runs on a fixed node universe (the link
+        # endpoints), so the channel's node-to-node distances are computed
+        # once and every frame's resolution just slices them (bounded: the
+        # cache holds an O(n^2) matrix).
+        endpoint_nodes: dict[int, object] = {}
+        for link in link_list:
+            endpoint_nodes.setdefault(link.sender.id, link.sender)
+            endpoint_nodes.setdefault(link.receiver.id, link.receiver)
+        channel: Channel = (
+            CachedChannel(self.params, endpoint_nodes.values())
+            if len(endpoint_nodes) <= MAX_CACHED_CHANNEL_NODES
+            else Channel(self.params)
+        )
         schedule = Schedule()
         frames = 0
         remaining = len(contenders)
@@ -147,7 +171,7 @@ class DistributedScheduler:
             attempts = self._choose_attempts(contenders)
             if not attempts:
                 continue
-            successful = self._run_frame(attempts, channel, power)
+            successful = self._run_frame(attempts, channel)
             for contender in attempts:
                 if contender in successful:
                     contender.scheduled_frame = frames - 1
@@ -195,12 +219,11 @@ class DistributedScheduler:
         self,
         attempts: Sequence[_LinkContender],
         channel: Channel,
-        power: PowerAssignment,
     ) -> set[_LinkContender]:
         """Run the data + acknowledgment slots; return the fully successful links."""
         # Data slot: senders transmit, everybody else listens.
         data_transmissions = [
-            Transmission(sender=c.link.sender, power=power.power(c.link), message=c.link)
+            Transmission(sender=c.link.sender, power=c.power, message=c.link)
             for c in attempts
         ]
         receivers = [c.link.receiver for c in attempts]
@@ -216,7 +239,7 @@ class DistributedScheduler:
         # Acknowledgment slot: the receivers of successful data answer on the
         # dual link with the same power; the original senders listen.
         ack_transmissions = [
-            Transmission(sender=c.link.receiver, power=power.power(c.link), message=c.link)
+            Transmission(sender=c.link.receiver, power=c.power, message=c.link)
             for c in data_ok
         ]
         ack_listeners = [c.link.sender for c in data_ok]

@@ -23,7 +23,7 @@ import numpy as np
 
 from ..exceptions import ConvergenceError, InfeasiblePowerError
 from ..links import Link
-from ..sinr import ExplicitPower, SINRParameters
+from ..sinr import ExplicitPower, LinkArrayCache, SINRParameters
 
 __all__ = [
     "gain_matrix",
@@ -40,31 +40,26 @@ def gain_matrix(links: Sequence[Link], params: SINRParameters) -> np.ndarray:
 
     Row ``i`` is link ``i``'s receiver; column ``j`` is link ``j``'s sender.
     Pairs with coincident sender and receiver positions get an infinite gain.
+
+    ``links`` may be a :class:`~repro.sinr.arrays.LinkArrayCache` to reuse its
+    cached distance matrix; a fresh writable array is returned either way.
     """
-    m = len(links)
-    if m == 0:
+    if len(links) == 0:
         return np.zeros((0, 0), dtype=float)
-    senders = np.array([[l.sender.x, l.sender.y] for l in links], dtype=float)
-    receivers = np.array([[l.receiver.x, l.receiver.y] for l in links], dtype=float)
-    diff = receivers[:, None, :] - senders[None, :, :]
-    dist = np.hypot(diff[..., 0], diff[..., 1])
-    with np.errstate(divide="ignore"):
-        gains = 1.0 / np.maximum(dist, 1e-300) ** params.alpha
-    return np.where(dist <= 0, np.inf, gains)
+    cache = links if isinstance(links, LinkArrayCache) else LinkArrayCache(links)
+    return np.array(cache.gain_matrix(params))
 
 
 def _normalized_interference_matrix(
     links: Sequence[Link], params: SINRParameters, margin: float
 ) -> tuple[np.ndarray, np.ndarray]:
     """The matrix ``B`` and vector ``c`` of the power-control fixed point."""
-    gains = gain_matrix(links, params)
-    m = gains.shape[0]
+    cache = links if isinstance(links, LinkArrayCache) else LinkArrayCache(links)
+    gains = cache.gain_matrix(params)
     diag = np.diag(gains).copy()
     if np.any(~np.isfinite(diag)) or np.any(diag <= 0):
         raise InfeasiblePowerError("some link has a degenerate (zero-length) geometry")
-    same_sender = np.array(
-        [[links[i].sender.id == links[j].sender.id for j in range(m)] for i in range(m)]
-    )
+    same_sender = cache.same_sender_mask()
     off = np.where(same_sender, 0.0, gains)
     np.fill_diagonal(off, 0.0)
     if np.any(~np.isfinite(off)):

@@ -14,7 +14,7 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 from ..exceptions import ProtocolError
-from ..sinr import Channel, Transmission
+from ..sinr import MAX_CACHED_CHANNEL_NODES, CachedChannel, Channel, Transmission
 from .agent import NodeAgent
 from .trace import ExecutionTrace, SlotRecord
 
@@ -48,6 +48,12 @@ class Simulator:
         if len(ids) != len(set(ids)):
             raise ProtocolError("duplicate node ids among agents")
         self.agents: list[NodeAgent] = list(agents)
+        # The agent set is fixed for the simulator's lifetime, so a plain
+        # channel is upgraded to one with cached node-to-node distances
+        # (bounded: the cache holds an O(n^2) matrix); subclassed channels
+        # are left untouched.
+        if type(channel) is Channel and len(self.agents) <= MAX_CACHED_CHANNEL_NODES:
+            channel = CachedChannel(channel.params, [agent.node for agent in self.agents])
         self.channel = channel
         self.trace = trace if trace is not None else ExecutionTrace()
         self._slot = 0

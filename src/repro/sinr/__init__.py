@@ -10,7 +10,14 @@ from .affectance import (
     outgoing_affectance,
     total_affectance,
 )
-from .channel import Channel, Reception, Transmission
+from .arrays import AffectanceAccumulator, LinkArrayCache, NodeArrayCache
+from .channel import (
+    MAX_CACHED_CHANNEL_NODES,
+    CachedChannel,
+    Channel,
+    Reception,
+    Transmission,
+)
 from .feasibility import (
     FEASIBILITY_TOLERANCE,
     FeasibilityReport,
@@ -59,6 +66,11 @@ __all__ = [
     "duplicate_senders",
     "FEASIBILITY_TOLERANCE",
     "Channel",
+    "CachedChannel",
+    "MAX_CACHED_CHANNEL_NODES",
     "Transmission",
     "Reception",
+    "LinkArrayCache",
+    "NodeArrayCache",
+    "AffectanceAccumulator",
 ]

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..geometry import Node
 from ..links import Link
+from .arrays import LinkArrayCache
 from .parameters import SINRParameters
 from .power import PowerAssignment
 
@@ -110,42 +111,13 @@ def affectance_matrix(
     is the affectance *suffered by* link ``j``.  Diagonal entries are zero, as
     are entries where two links share the same sender node (a sender does not
     interfere with its own transmissions).
+
+    ``links`` may be a :class:`~repro.sinr.arrays.LinkArrayCache`, in which
+    case the cached structures are reused; the returned matrix is always a
+    fresh writable array.
     """
-    m = len(links)
-    if m == 0:
-        return np.zeros((0, 0), dtype=float)
-    sender_xy = np.array([[l.sender.x, l.sender.y] for l in links], dtype=float)
-    receiver_xy = np.array([[l.receiver.x, l.receiver.y] for l in links], dtype=float)
-    sender_ids = np.array([l.sender.id for l in links])
-    lengths = np.array([l.length for l in links], dtype=float)
-    powers = np.array(power.powers(links), dtype=float)
-    if np.any(powers <= 0):
-        raise ValueError("all link powers must be positive")
-
-    cap = 1.0 + params.epsilon
-    # Link costs c(u, v); infeasible-vs-noise links get an infinite cost.
-    if params.noise == 0:
-        costs = np.full(m, params.beta)
-    else:
-        margins = 1.0 - params.beta * params.noise * lengths**params.alpha / powers
-        costs = np.where(margins > 0, params.beta / np.maximum(margins, 1e-300), np.inf)
-
-    # dist[i, j] = distance from sender of link i to receiver of link j.
-    diff = sender_xy[:, None, :] - receiver_xy[None, :, :]
-    dist = np.hypot(diff[..., 0], diff[..., 1])
-    with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
-        raw = (
-            costs[None, :]
-            * (powers[:, None] / powers[None, :])
-            * (lengths[None, :] / np.maximum(dist, 1e-300)) ** params.alpha
-        )
-    raw = np.where(dist <= 0, np.inf, raw)
-    matrix = np.minimum(cap, raw)
-    # Zero out self-affectance and same-sender pairs.
-    same_sender = sender_ids[:, None] == sender_ids[None, :]
-    matrix[same_sender] = 0.0
-    np.fill_diagonal(matrix, 0.0)
-    return matrix
+    cache = links if isinstance(links, LinkArrayCache) else LinkArrayCache(links)
+    return np.array(cache.affectance_matrix(power, params))
 
 
 def incoming_affectance(

@@ -1,0 +1,494 @@
+"""Cached struct-of-arrays views of link and node collections.
+
+Every vectorized routine in the SINR substrate used to start by rebuilding
+the same coordinate arrays from Python ``Link`` objects
+(``np.array([[l.sender.x, l.sender.y] for l in links])`` and friends).  For
+the hot paths of the paper's algorithms - the greedy capacity loop, first-fit
+scheduling, ``Distr-Cap`` phases and the slotted channel simulation - those
+rebuilds, not the numpy arithmetic, dominate the running time.
+
+This module provides the shared engine behind all of them:
+
+* :class:`LinkArrayCache` - a struct-of-arrays view of a fixed link universe
+  (sender/receiver coordinates, sender ids, lengths) computed **once**, with
+  lazily cached derived structures: the sender-to-receiver distance matrix,
+  per-assignment power vectors, link costs, pairwise affectance matrices, raw
+  SINR vectors and the power-control gain matrix.  Any subset of the universe
+  is served by integer-index slicing of the cached full-size structures.
+* :class:`NodeArrayCache` - the analogous view of a fixed node universe, used
+  by the cached SINR channel (``repro.sinr.channel.CachedChannel``).
+* :class:`AffectanceAccumulator` - an incremental row accumulator over a
+  pairwise matrix, turning the "recompute the full O(m^2) affectance matrix
+  after every accepted link" pattern of the greedy loops into O(m) updates
+  per accepted link and O(|set|) membership tests.
+
+The array kernels here are the *single* implementation of the corresponding
+formulas; ``repro.sinr.affectance``, ``repro.sinr.feasibility`` and
+``repro.core.power_solver`` delegate to them, so cached and uncached entry
+points agree bit-for-bit.
+
+Cached arrays are returned read-only (``writeable=False``); the public
+seed-era wrappers hand out fresh copies.  The cache assumes the link universe
+and any :class:`~repro.sinr.power.PowerAssignment` given to it are not
+mutated afterwards; call :meth:`LinkArrayCache.invalidate` after mutating an
+``ExplicitPower`` in place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from ..links import Link
+from .parameters import SINRParameters
+from .power import PowerAssignment
+
+__all__ = [
+    "LinkArrayCache",
+    "NodeArrayCache",
+    "AffectanceAccumulator",
+    "affectance_matrix_from_arrays",
+    "sinr_values_from_arrays",
+]
+
+
+def _freeze(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+def _affectance_kernel(
+    dist: np.ndarray,
+    zero_mask: np.ndarray,
+    col_lengths: np.ndarray,
+    row_powers: np.ndarray,
+    col_powers: np.ndarray,
+    params: SINRParameters,
+) -> np.ndarray:
+    """Affectance of row senders on column links, from precomputed arrays.
+
+    ``dist[i, j]`` is the distance from row link ``i``'s sender to column
+    link ``j``'s receiver; ``zero_mask`` marks pairs whose affectance is
+    zero by definition (same sender node, or the link itself).  This is the
+    exact arithmetic of the seed ``affectance_matrix`` and must stay
+    elementwise identical to it (the parity tests pin this down).
+    """
+    cap = 1.0 + params.epsilon
+    if params.noise == 0:
+        costs = np.full(col_lengths.shape, params.beta)
+    else:
+        margins = 1.0 - params.beta * params.noise * col_lengths**params.alpha / col_powers
+        costs = np.where(margins > 0, params.beta / np.maximum(margins, 1e-300), np.inf)
+
+    with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+        raw = (
+            costs[None, :]
+            * (row_powers[:, None] / col_powers[None, :])
+            * (col_lengths[None, :] / np.maximum(dist, 1e-300)) ** params.alpha
+        )
+    raw = np.where(dist <= 0, np.inf, raw)
+    return np.where(zero_mask, 0.0, np.minimum(cap, raw))
+
+
+def affectance_matrix_from_arrays(
+    dist: np.ndarray,
+    same_sender: np.ndarray,
+    lengths: np.ndarray,
+    powers: np.ndarray,
+    params: SINRParameters,
+) -> np.ndarray:
+    """Pairwise affectance matrix from precomputed arrays.
+
+    ``dist[i, j]`` is the distance from link ``i``'s sender to link ``j``'s
+    receiver and ``same_sender[i, j]`` marks pairs sharing a sender node.
+    """
+    m = len(lengths)
+    if m == 0:
+        return np.zeros((0, 0), dtype=float)
+    if np.any(powers <= 0):
+        raise ValueError("all link powers must be positive")
+    zero_mask = same_sender | np.eye(m, dtype=bool)
+    return _affectance_kernel(dist, zero_mask, lengths, powers, powers, params)
+
+
+def sinr_values_from_arrays(
+    dist: np.ndarray,
+    same_sender: np.ndarray,
+    lengths: np.ndarray,
+    powers: np.ndarray,
+    params: SINRParameters,
+) -> np.ndarray:
+    """Raw Eqn. (1) SINR at each link's receiver, from precomputed arrays."""
+    m = len(lengths)
+    if m == 0:
+        return np.zeros(0, dtype=float)
+    with np.errstate(divide="ignore"):
+        received = powers[:, None] / np.maximum(dist, 1e-300) ** params.alpha
+    signal = powers / lengths**params.alpha
+    interference_matrix = np.where(same_sender, 0.0, received)
+    interference = interference_matrix.sum(axis=0)
+    return signal / (params.noise + interference)
+
+
+class LinkArrayCache(Sequence):
+    """Struct-of-arrays view of a fixed link universe.
+
+    The cache behaves as an immutable sequence of its links (so it can be
+    passed wherever a ``Sequence[Link]`` is expected) and serves every
+    derived array - distances, powers, costs, affectance matrices, SINR
+    vectors, gain matrices - from a lazily computed, reusable store.  Subsets
+    are addressed by integer index into the universe.
+    """
+
+    def __init__(self, links: Iterable[Link]):
+        self._links: list[Link] = list(links)
+        m = len(self._links)
+        if m:
+            self.sender_xy = _freeze(
+                np.array([[l.sender.x, l.sender.y] for l in self._links], dtype=float)
+            )
+            self.receiver_xy = _freeze(
+                np.array([[l.receiver.x, l.receiver.y] for l in self._links], dtype=float)
+            )
+        else:
+            self.sender_xy = _freeze(np.empty((0, 2), dtype=float))
+            self.receiver_xy = _freeze(np.empty((0, 2), dtype=float))
+        self.sender_ids = _freeze(
+            np.array([l.sender.id for l in self._links], dtype=np.int64)
+        )
+        self.receiver_ids = _freeze(
+            np.array([l.receiver.id for l in self._links], dtype=np.int64)
+        )
+        self.lengths = _freeze(np.array([l.length for l in self._links], dtype=float))
+        self._index_by_endpoints: dict[tuple[int, int], int] | None = None
+        self._distances: np.ndarray | None = None
+        self._same_sender: np.ndarray | None = None
+        self._powers: dict[int, tuple[PowerAssignment, np.ndarray]] = {}
+        self._affectance: dict[tuple[int, SINRParameters], np.ndarray] = {}
+        self._sinr: dict[tuple[int, SINRParameters], np.ndarray] = {}
+        self._gain: dict[SINRParameters, np.ndarray] = {}
+
+    # -- sequence protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._links)
+
+    def __getitem__(self, index):  # type: ignore[override]
+        return self._links[index]
+
+    def __iter__(self) -> Iterator[Link]:
+        return iter(self._links)
+
+    @property
+    def links(self) -> tuple[Link, ...]:
+        """The link universe, in index order."""
+        return tuple(self._links)
+
+    def index_of(self, link: Link) -> int:
+        """Universe index of a link, keyed by its (sender id, receiver id)."""
+        if self._index_by_endpoints is None:
+            self._index_by_endpoints = {
+                l.endpoint_ids: i for i, l in enumerate(self._links)
+            }
+        return self._index_by_endpoints[link.endpoint_ids]
+
+    def indices_of(self, links: Iterable[Link]) -> np.ndarray:
+        """Universe indices of an iterable of links, in iteration order."""
+        return np.array([self.index_of(link) for link in links], dtype=np.intp)
+
+    # -- cached structures ---------------------------------------------------
+
+    def distance_matrix(self) -> np.ndarray:
+        """``D[i, j]`` = distance from link ``i``'s sender to link ``j``'s receiver."""
+        if self._distances is None:
+            diff = self.sender_xy[:, None, :] - self.receiver_xy[None, :, :]
+            self._distances = _freeze(np.hypot(diff[..., 0], diff[..., 1]))
+        return self._distances
+
+    def same_sender_mask(self) -> np.ndarray:
+        """Boolean matrix marking link pairs whose senders are the same node."""
+        if self._same_sender is None:
+            self._same_sender = _freeze(
+                self.sender_ids[:, None] == self.sender_ids[None, :]
+            )
+        return self._same_sender
+
+    def powers(self, power: PowerAssignment) -> np.ndarray:
+        """Per-link power vector under ``power`` (cached per assignment)."""
+        key = id(power)
+        entry = self._powers.get(key)
+        if entry is None or entry[0] is not power:
+            entry = (power, _freeze(np.array(power.powers(self._links), dtype=float)))
+            self._powers[key] = entry
+        return entry[1]
+
+    def affectance_matrix(
+        self,
+        power: PowerAssignment,
+        params: SINRParameters,
+        indices: Sequence[int] | np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Pairwise affectance matrix of the universe (or an index subset).
+
+        The full matrix is computed once per ``(power, params)`` pair; any
+        subset is an ``np.ix_`` slice of it.  Returned arrays are read-only.
+        """
+        key = (id(power), params)
+        matrix = self._affectance.get(key)
+        if matrix is None:
+            matrix = _freeze(
+                affectance_matrix_from_arrays(
+                    self.distance_matrix(),
+                    self.same_sender_mask(),
+                    self.lengths,
+                    self.powers(power),
+                    params,
+                )
+            )
+            self._affectance[key] = matrix
+        if indices is None:
+            return matrix
+        idx = np.asarray(indices, dtype=np.intp)
+        return matrix[np.ix_(idx, idx)]
+
+    def affectance_block(
+        self,
+        rows: Sequence[int] | np.ndarray,
+        cols: Sequence[int] | np.ndarray,
+        power: PowerAssignment,
+        params: SINRParameters,
+    ) -> np.ndarray:
+        """Affectance of ``rows``' senders on the ``cols`` links.
+
+        Elementwise equal to ``affectance_matrix(power, params)[np.ix_(rows,
+        cols)]`` but costs only O(|rows| * |cols|), so callers that read a
+        rectangular block (e.g. transmitters x candidates in a ``Distr-Cap``
+        slot) need not materialize the full universe matrix.  If the full
+        matrix happens to be cached already, it is sliced instead.
+        """
+        rows = np.asarray(rows, dtype=np.intp)
+        cols = np.asarray(cols, dtype=np.intp)
+        full = self._affectance.get((id(power), params))
+        if full is not None:
+            return full[np.ix_(rows, cols)]
+        powers = self.powers(power)
+        if np.any(powers <= 0):
+            raise ValueError("all link powers must be positive")
+        if rows.size == 0 or cols.size == 0:
+            return np.zeros((rows.size, cols.size), dtype=float)
+        if self._distances is not None:
+            dist = self._distances[np.ix_(rows, cols)]
+        else:
+            diff = self.sender_xy[rows][:, None, :] - self.receiver_xy[cols][None, :, :]
+            dist = np.hypot(diff[..., 0], diff[..., 1])
+        zero_mask = (
+            self.sender_ids[rows][:, None] == self.sender_ids[cols][None, :]
+        ) | (rows[:, None] == cols[None, :])
+        return _affectance_kernel(
+            dist, zero_mask, self.lengths[cols], powers[rows], powers[cols], params
+        )
+
+    def sinr_values(
+        self,
+        power: PowerAssignment,
+        params: SINRParameters,
+        indices: Sequence[int] | np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Raw SINR at each receiver with the whole universe (or subset) active.
+
+        Unlike :meth:`affectance_matrix`, the SINR of a link depends on which
+        other links are active, so subsets are recomputed from the cached
+        distance slices rather than sliced from the full-universe vector.
+        """
+        if indices is None:
+            key = (id(power), params)
+            values = self._sinr.get(key)
+            if values is None:
+                values = _freeze(
+                    sinr_values_from_arrays(
+                        self.distance_matrix(),
+                        self.same_sender_mask(),
+                        self.lengths,
+                        self.powers(power),
+                        params,
+                    )
+                )
+                self._sinr[key] = values
+            return values
+        idx = np.asarray(indices, dtype=np.intp)
+        sub = np.ix_(idx, idx)
+        return sinr_values_from_arrays(
+            self.distance_matrix()[sub],
+            self.same_sender_mask()[sub],
+            self.lengths[idx],
+            self.powers(power)[idx],
+            params,
+        )
+
+    def gain_matrix(self, params: SINRParameters) -> np.ndarray:
+        """Channel gain matrix ``G[i, j] = 1 / d(sender_j, receiver_i)**alpha``.
+
+        This is the transpose orientation of :meth:`distance_matrix` (row =
+        receiver, column = sender), matching ``repro.core.power_solver``.
+        """
+        gains = self._gain.get(params)
+        if gains is None:
+            dist = self.distance_matrix().T
+            with np.errstate(divide="ignore"):
+                raw = 1.0 / np.maximum(dist, 1e-300) ** params.alpha
+            gains = _freeze(np.where(dist <= 0, np.inf, raw))
+            self._gain[params] = gains
+        return gains
+
+    def invalidate(self, power: PowerAssignment | None = None) -> None:
+        """Drop cached powers/affectances (for ``power``, or all assignments).
+
+        Needed only when a power assignment handed to this cache has been
+        mutated in place (e.g. ``ExplicitPower.set_power``).
+        """
+        if power is None:
+            self._powers.clear()
+            self._affectance.clear()
+            self._sinr.clear()
+            return
+        self._powers.pop(id(power), None)
+        for store in (self._affectance, self._sinr):
+            for key in [k for k in store if k[0] == id(power)]:
+                del store[key]
+
+
+class NodeArrayCache:
+    """Struct-of-arrays view of a fixed node universe.
+
+    Used by the cached channel: the node-to-node distance matrix is computed
+    once, and every slot's resolution slices it by transmitter/listener index.
+    """
+
+    def __init__(self, nodes: Iterable):
+        self.nodes = list(nodes)
+        if self.nodes:
+            self.xy = _freeze(np.array([[n.x, n.y] for n in self.nodes], dtype=float))
+        else:
+            self.xy = _freeze(np.empty((0, 2), dtype=float))
+        self.ids = _freeze(np.array([n.id for n in self.nodes], dtype=np.int64))
+        self._index_by_id = {node.id: i for i, node in enumerate(self.nodes)}
+        self._distances: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node_id: int) -> bool:
+        return node_id in self._index_by_id
+
+    def index_of_id(self, node_id: int) -> int:
+        """Universe index of the node with the given id (KeyError if absent)."""
+        return self._index_by_id[node_id]
+
+    def distance_matrix(self) -> np.ndarray:
+        """Full node-to-node distance matrix, computed once."""
+        if self._distances is None:
+            diff = self.xy[:, None, :] - self.xy[None, :, :]
+            self._distances = _freeze(np.hypot(diff[..., 0], diff[..., 1]))
+        return self._distances
+
+
+class AffectanceAccumulator:
+    """Incremental row accumulator over a pairwise affectance matrix.
+
+    Tracks, for a growing/shrinking member set ``S`` of universe indices, the
+    vector ``totals[j] = sum_{i in S} matrix[i, j]`` for *every* universe
+    index ``j``.  Adding or removing a member is one vector operation (O(m));
+    querying the affectance a candidate would suffer from ``S`` is O(1), and
+    the worst total inside ``S`` if a candidate joined is O(|S|).  This
+    replaces the full O(m^2) matrix recomputation the greedy loops used to
+    perform per accepted link.
+
+    Member contributions are accumulated in insertion order, so the totals
+    match the equivalent sequential scalar sums bit-for-bit (removal is a
+    subtraction and may leave the usual floating-point residue; the parity
+    tests bound it).
+    """
+
+    def __init__(self, matrix: np.ndarray, members: Iterable[int] = ()):
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"matrix must be square, got shape {matrix.shape}")
+        self._matrix = matrix
+        self._totals = np.zeros(matrix.shape[0], dtype=float)
+        self._members: list[int] = []
+        self._in_set = np.zeros(matrix.shape[0], dtype=bool)
+        self._member_array: np.ndarray | None = None
+        for index in members:
+            self.add(index)
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The underlying pairwise matrix."""
+        return self._matrix
+
+    @property
+    def members(self) -> tuple[int, ...]:
+        """Current member indices, in insertion order."""
+        return tuple(self._members)
+
+    def member_indices(self) -> np.ndarray:
+        """Current member indices as an integer array (cached between edits)."""
+        if self._member_array is None:
+            self._member_array = np.array(self._members, dtype=np.intp)
+        return self._member_array
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __contains__(self, index: int) -> bool:
+        return bool(self._in_set[index])
+
+    def total(self, index: int) -> float:
+        """Affectance the member set currently exerts on universe index ``index``."""
+        return float(self._totals[index])
+
+    def totals(self) -> np.ndarray:
+        """Copy of the full per-index totals vector."""
+        return self._totals.copy()
+
+    def add(self, index: int) -> None:
+        """Add a universe index to the member set (O(m))."""
+        index = int(index)
+        if self._in_set[index]:
+            raise ValueError(f"index {index} is already a member")
+        self._totals += self._matrix[index]
+        self._in_set[index] = True
+        self._members.append(index)
+        self._member_array = None
+
+    def remove(self, index: int) -> None:
+        """Remove a universe index from the member set (O(m))."""
+        index = int(index)
+        if not self._in_set[index]:
+            raise ValueError(f"index {index} is not a member")
+        self._totals -= self._matrix[index]
+        self._in_set[index] = False
+        self._members.remove(index)
+        self._member_array = None
+
+    def max_total_with(self, index: int) -> float:
+        """Worst per-member total if ``index`` joined the member set.
+
+        Covers both directions: the affectance the candidate would suffer
+        from the members, and each member's total after the candidate's row
+        is added.  The candidate must not already be a member.
+        """
+        index = int(index)
+        if self._in_set[index]:
+            raise ValueError(f"index {index} is already a member")
+        worst = self._totals[index]
+        if self._members:
+            mem = self.member_indices()
+            member_totals = self._totals[mem] + self._matrix[index, mem]
+            worst = max(worst, member_totals.max())
+        return float(worst)
+
+    def fits(self, index: int, limit: float) -> bool:
+        """Whether adding ``index`` keeps every total at most ``limit``."""
+        return self.max_total_with(index) <= limit

@@ -18,9 +18,16 @@ from typing import Any, Iterable, Mapping, Sequence
 import numpy as np
 
 from ..geometry import Node
+from .arrays import NodeArrayCache
 from .parameters import SINRParameters
 
-__all__ = ["Transmission", "Reception", "Channel"]
+__all__ = [
+    "Transmission",
+    "Reception",
+    "Channel",
+    "CachedChannel",
+    "MAX_CACHED_CHANNEL_NODES",
+]
 
 
 @dataclass(frozen=True)
@@ -95,13 +102,27 @@ class Channel:
         if not active_listeners:
             return {}
 
-        tx_xy = np.array([[t.sender.x, t.sender.y] for t in transmissions], dtype=float)
+        dist = self._distances(transmissions, active_listeners)
         powers = np.array([t.power for t in transmissions], dtype=float)
-        rx_xy = np.array([[n.x, n.y] for n in active_listeners], dtype=float)
+        return self._decode(transmissions, active_listeners, dist, powers)
 
-        # received[i, j] = power of transmission i as seen by listener j.
+    def _distances(
+        self, transmissions: Sequence[Transmission], active_listeners: Sequence[Node]
+    ) -> np.ndarray:
+        """Transmitter-to-listener distance matrix (overridden by caches)."""
+        tx_xy = np.array([[t.sender.x, t.sender.y] for t in transmissions], dtype=float)
+        rx_xy = np.array([[n.x, n.y] for n in active_listeners], dtype=float)
         diff = tx_xy[:, None, :] - rx_xy[None, :, :]
-        dist = np.hypot(diff[..., 0], diff[..., 1])
+        return np.hypot(diff[..., 0], diff[..., 1])
+
+    def _decode(
+        self,
+        transmissions: Sequence[Transmission],
+        active_listeners: Sequence[Node],
+        dist: np.ndarray,
+        powers: np.ndarray,
+    ) -> dict[int, Reception]:
+        """Resolve receptions from a transmitter-to-listener distance matrix."""
         with np.errstate(divide="ignore"):
             received = powers[:, None] / np.maximum(dist, 1e-300) ** self.params.alpha
         received = np.where(dist <= 0, np.inf, received)
@@ -154,3 +175,43 @@ class Channel:
             for node, power in others
         )
         return signal / (self.params.noise + interference) >= self.params.beta
+
+
+# Node count above which the O(n^2) cached distance matrix is not worth its
+# memory (8 bytes * n^2; 2048 nodes ~ 33 MB).  Upgrade sites consult this.
+MAX_CACHED_CHANNEL_NODES = 2048
+
+
+class CachedChannel(Channel):
+    """Channel over a *fixed node universe*, backed by cached distances.
+
+    The node-to-node distance matrix is computed once; every call to
+    :meth:`resolve` then slices it by transmitter/listener index instead of
+    rebuilding coordinate arrays from the node objects.  Results are
+    identical to :class:`Channel` (the distances are the same hypot values,
+    merely precomputed).  Transmissions or listeners involving nodes outside
+    the universe fall back to the uncached distance computation.
+
+    Args:
+        params: the physical-model parameters.
+        nodes: the node universe (e.g. all simulator agents' nodes, or every
+            endpoint of a link set being scheduled).
+    """
+
+    def __init__(self, params: SINRParameters, nodes: Iterable[Node]):
+        super().__init__(params)
+        self.cache = NodeArrayCache(nodes)
+
+    def _distances(
+        self, transmissions: Sequence[Transmission], active_listeners: Sequence[Node]
+    ) -> np.ndarray:
+        try:
+            tx_idx = np.array(
+                [self.cache.index_of_id(t.sender.id) for t in transmissions], dtype=np.intp
+            )
+            rx_idx = np.array(
+                [self.cache.index_of_id(n.id) for n in active_listeners], dtype=np.intp
+            )
+        except KeyError:
+            return super()._distances(transmissions, active_listeners)
+        return self.cache.distance_matrix()[np.ix_(tx_idx, rx_idx)]

@@ -19,7 +19,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from ..links import Link
-from .affectance import affectance_matrix
+from .arrays import LinkArrayCache
 from .parameters import SINRParameters
 from .power import PowerAssignment
 
@@ -66,29 +66,11 @@ def sinr_values(
     """SINR achieved at each link's receiver with all the set's senders active.
 
     This is the raw Eqn. (1) quantity (not the thresholded affectance), useful
-    for reporting margins.
+    for reporting margins.  ``links`` may be a
+    :class:`~repro.sinr.arrays.LinkArrayCache` to reuse cached structures.
     """
-    m = len(links)
-    if m == 0:
-        return np.zeros(0, dtype=float)
-    sender_xy = np.array([[l.sender.x, l.sender.y] for l in links], dtype=float)
-    receiver_xy = np.array([[l.receiver.x, l.receiver.y] for l in links], dtype=float)
-    sender_ids = np.array([l.sender.id for l in links])
-    lengths = np.array([l.length for l in links], dtype=float)
-    powers = np.array(power.powers(links), dtype=float)
-
-    diff = sender_xy[:, None, :] - receiver_xy[None, :, :]
-    dist = np.hypot(diff[..., 0], diff[..., 1])
-    with np.errstate(divide="ignore"):
-        received = powers[:, None] / np.maximum(dist, 1e-300) ** params.alpha
-    signal = powers / lengths**params.alpha
-    # Interference at link j's receiver: contributions of all senders with a
-    # different sender node (multiple links from the same physical sender are
-    # one transmission).
-    same_sender = sender_ids[:, None] == sender_ids[None, :]
-    interference_matrix = np.where(same_sender, 0.0, received)
-    interference = interference_matrix.sum(axis=0)
-    return signal / (params.noise + interference)
+    cache = links if isinstance(links, LinkArrayCache) else LinkArrayCache(links)
+    return np.array(cache.sinr_values(power, params))
 
 
 def violates_half_duplex(links: Iterable[Link]) -> bool:
@@ -117,17 +99,18 @@ def feasibility_report(
     check_structure: bool = True,
 ) -> FeasibilityReport:
     """Full feasibility diagnosis of a candidate single-slot link set."""
-    link_list = list(links)
+    cache = links if isinstance(links, LinkArrayCache) else LinkArrayCache(links)
+    link_list = list(cache)
     if not link_list:
         return FeasibilityReport(True, True, True, True, 0.0, None)
-    matrix = affectance_matrix(link_list, power, params)
+    matrix = cache.affectance_matrix(power, params)
     incoming = matrix.sum(axis=0)
     worst_index = int(np.argmax(incoming))
     worst = float(incoming[worst_index])
     # The affectance condition folds noise into the link cost c(u, v), which is
     # infinite (and the affectance cap hides it) when a link cannot even beat
     # noise on its own; check the raw SINR as well so such links are rejected.
-    raw_sinr = sinr_values(link_list, power, params)
+    raw_sinr = cache.sinr_values(power, params)
     noise_ok = bool(np.all(raw_sinr >= params.beta * (1.0 - 1e-9)))
     sinr_ok = bool(worst <= 1.0 + FEASIBILITY_TOLERANCE) and noise_ok
     half_duplex_ok = not violates_half_duplex(link_list)
