@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and write a JSON perf baseline.
+
+Executes ``pytest benchmarks --benchmark-only`` (optionally filtered with
+``--select``, a pytest ``-k`` expression), collects per-benchmark wall-clock
+statistics from pytest-benchmark's JSON output, augments them with machine
+information, and writes the result to a compact baseline file (default
+``BENCH_PR2.json``).  The committed baseline records the perf trajectory of
+the repo; CI runs the micro-benchmarks non-blockingly and uploads the fresh
+JSON as an artifact for comparison.
+
+Usage:
+    python scripts/run_benchmarks.py                         # full suite
+    python scripts/run_benchmarks.py --select "micro or slot_engine"
+    python scripts/run_benchmarks.py --output BENCH_PR2.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def machine_info() -> dict:
+    """Machine fingerprint stored next to the timings."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "processor": platform.processor(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def run_benchmarks(select: str | None, raw_json: Path) -> int:
+    """Run the pytest-benchmark suite, writing its raw JSON to ``raw_json``."""
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "benchmarks",
+        "-q",
+        "--benchmark-only",
+        f"--benchmark-json={raw_json}",
+    ]
+    if select:
+        cmd.extend(["-k", select])
+    print("+", " ".join(cmd))
+    return subprocess.call(cmd, cwd=REPO_ROOT)
+
+
+def summarize(raw_json: Path) -> list[dict]:
+    """Reduce pytest-benchmark's verbose JSON to per-benchmark wall-clocks."""
+    data = json.loads(raw_json.read_text())
+    rows = []
+    for bench in data.get("benchmarks", []):
+        stats = bench.get("stats", {})
+        rows.append(
+            {
+                "name": bench.get("fullname", bench.get("name")),
+                "mean_s": stats.get("mean"),
+                "min_s": stats.get("min"),
+                "max_s": stats.get("max"),
+                "stddev_s": stats.get("stddev"),
+                "rounds": stats.get("rounds"),
+            }
+        )
+    rows.sort(key=lambda row: row["name"] or "")
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_PR2.json",
+        help="baseline file to write (default: BENCH_PR2.json at the repo root)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="pytest -k expression selecting a benchmark subset (e.g. 'micro')",
+    )
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        raw_json = Path(tmp) / "pytest-benchmark.json"
+        exit_code = run_benchmarks(args.select, raw_json)
+        if not raw_json.exists():
+            print("benchmark run produced no JSON; aborting", file=sys.stderr)
+            return exit_code or 1
+        benchmarks = summarize(raw_json)
+
+    baseline = {
+        "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "select": args.select,
+        "machine": machine_info(),
+        "benchmarks": benchmarks,
+    }
+    args.output.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"wrote {len(benchmarks)} benchmark timings to {args.output}")
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

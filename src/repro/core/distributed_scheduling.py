@@ -41,6 +41,7 @@ from ..sinr import (
     SINRParameters,
     Transmission,
 )
+from ..sinr.channel import ensure_positive_powers
 from .schedule import Schedule
 
 __all__ = ["DistributedScheduler", "DistributedScheduleResult"]
@@ -67,11 +68,14 @@ class DistributedScheduleResult:
 class _LinkContender:
     """Per-link contention state (conceptually owned by the link's sender)."""
 
-    def __init__(self, link: Link, probability: float, rng: np.random.Generator):
+    def __init__(self, link: Link, probability: float, rng: np.random.Generator, index: int):
         self.link = link
         self.probability = probability
         self.rng = rng
         self.scheduled_frame: int | None = None
+        # Position in the scheduler's contender arrays (sender/receiver cache
+        # indices, powers), fixed for the whole run.
+        self.index = index
         # Transmit power, fixed for the whole run; filled in by the scheduler
         # so the per-frame hot loop does not re-evaluate the assignment.
         self.power: float = 1.0
@@ -142,9 +146,9 @@ class DistributedScheduler:
 
         base = self.constants.scheduling_base_probability
         contenders = [
-            _LinkContender(link, base, np.random.default_rng(int(seed)))
-            for link, seed in zip(
-                link_list, rng.integers(0, 2**63 - 1, size=len(link_list), dtype=np.int64)
+            _LinkContender(link, base, np.random.default_rng(int(seed)), index)
+            for index, (link, seed) in enumerate(
+                zip(link_list, rng.integers(0, 2**63 - 1, size=len(link_list), dtype=np.int64))
             )
         ]
         for contender in contenders:
@@ -152,7 +156,8 @@ class DistributedScheduler:
         # The frame simulation runs on a fixed node universe (the link
         # endpoints), so the channel's node-to-node distances are computed
         # once and every frame's resolution just slices them (bounded: the
-        # cache holds an O(n^2) matrix).
+        # cache holds an O(n^2) matrix).  With a cached channel each frame is
+        # resolved on index arrays (no Transmission/Reception marshalling).
         endpoint_nodes: dict[int, object] = {}
         for link in link_list:
             endpoint_nodes.setdefault(link.sender.id, link.sender)
@@ -162,6 +167,19 @@ class DistributedScheduler:
             if len(endpoint_nodes) <= MAX_CACHED_CHANNEL_NODES
             else Channel(self.params)
         )
+        sender_idx: np.ndarray | None = None
+        receiver_idx: np.ndarray | None = None
+        power_arr: np.ndarray | None = None
+        if type(channel) is CachedChannel:
+            cache = channel.cache
+            sender_idx = np.array(
+                [cache.index_of_id(c.link.sender.id) for c in contenders], dtype=np.intp
+            )
+            receiver_idx = np.array(
+                [cache.index_of_id(c.link.receiver.id) for c in contenders], dtype=np.intp
+            )
+            power_arr = np.array([c.power for c in contenders], dtype=float)
+            ensure_positive_powers(power_arr)
         schedule = Schedule()
         frames = 0
         remaining = len(contenders)
@@ -171,7 +189,12 @@ class DistributedScheduler:
             attempts = self._choose_attempts(contenders)
             if not attempts:
                 continue
-            successful = self._run_frame(attempts, channel)
+            if sender_idx is not None:
+                successful = self._run_frame_indices(
+                    attempts, channel, sender_idx, receiver_idx, power_arr
+                )
+            else:
+                successful = self._run_frame(attempts, channel)
             for contender in attempts:
                 if contender in successful:
                     contender.scheduled_frame = frames - 1
@@ -214,6 +237,49 @@ class DistributedScheduler:
             else:
                 by_sender[sender_id] = contender
         return list(by_sender.values())
+
+    def _run_frame_indices(
+        self,
+        attempts: Sequence[_LinkContender],
+        channel: CachedChannel,
+        sender_idx: np.ndarray,
+        receiver_idx: np.ndarray,
+        power_arr: np.ndarray,
+    ) -> set[_LinkContender]:
+        """Index-array frame resolution (same outcome as :meth:`_run_frame`).
+
+        Both slots are resolved through
+        :meth:`~repro.sinr.channel.CachedChannel.resolve_indices`; a link
+        succeeds when its receiver decoded *its own* sender (``best`` equals
+        the link's row) in the data slot and, symmetrically, its sender
+        decoded the receiver's acknowledgment.  Half-duplex is applied
+        exactly as ``Channel.resolve`` does: a listener that is also
+        transmitting in the slot hears nothing.
+        """
+        rows = np.array([c.index for c in attempts], dtype=np.intp)
+        tx = sender_idx[rows]
+        rx = receiver_idx[rows]
+        pw = power_arr[rows]
+
+        # Data slot: all attempt senders transmit; receivers that are
+        # themselves transmitting are busy and cannot listen.
+        listening = np.nonzero(~np.isin(rx, tx))[0]
+        best, _, ok = channel.resolve_indices(tx, rx[listening], pw)
+        data_ok = listening[ok & (best == listening)]
+        if data_ok.size == 0:
+            return set()
+
+        # Acknowledgment slot: the receivers of successful data answer on the
+        # dual link with the same power; the original senders listen (unless
+        # they are busy acknowledging another link themselves).  Successful
+        # receivers are distinct (each decoded exactly one sender), so the
+        # ack transmitters are automatically unique.
+        ack_tx = rx[data_ok]
+        ack_rx = tx[data_ok]
+        ack_listening = np.nonzero(~np.isin(ack_rx, ack_tx))[0]
+        ack_best, _, ack_ok = channel.resolve_indices(ack_tx, ack_rx[ack_listening], pw[data_ok])
+        final = data_ok[ack_listening[ack_ok & (ack_best == ack_listening)]]
+        return {attempts[int(i)] for i in final}
 
     def _run_frame(
         self,

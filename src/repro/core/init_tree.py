@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -101,6 +101,7 @@ class InitAgent(NodeAgent):
 
         self._is_broadcaster = False
         self._pending_broadcast: BroadcastMessage | None = None
+        self._round_powers: dict[int, float] = {}
 
     # -- time bookkeeping ---------------------------------------------------
 
@@ -114,12 +115,26 @@ class InitAgent(NodeAgent):
         pair = self._slot_pair(slot)
         return (pair // self.slot_pairs_per_round) % self.rounds_per_sweep + 1
 
+    def _round_power(self, round_index: int) -> float:
+        """Round power, memoized (it is evaluated once per agent per slot)."""
+        power = self._round_powers.get(round_index)
+        if power is None:
+            power = round_power(round_index, self.params)
+            self._round_powers[round_index] = power
+        return power
+
     # -- protocol -----------------------------------------------------------
 
     def act(self, slot: int) -> Transmission | None:
+        action = self.act_batch(slot)
+        if action is None:
+            return None
+        power, message = action
+        return Transmission(sender=self.node, power=power, message=message)
+
+    def act_batch(self, slot: int) -> tuple[float, Any] | None:
         phase = self._phase(slot)
         round_index = self._round(slot)
-        power = round_power(round_index, self.params)
 
         if phase == 0:
             self._pending_broadcast = None
@@ -128,10 +143,9 @@ class InitAgent(NodeAgent):
                 return None
             if self.rng.random() < self.constants.broadcast_probability:
                 self._is_broadcaster = True
-                return Transmission(
-                    sender=self.node,
-                    power=power,
-                    message=BroadcastMessage(sender=self.node, round_index=round_index),
+                return (
+                    self._round_power(round_index),
+                    BroadcastMessage(sender=self.node, round_index=round_index),
                 )
             return None
 
@@ -158,10 +172,9 @@ class InitAgent(NodeAgent):
         self.records.append(
             _LinkRecord(peer_id=broadcast.sender_id, outgoing=True, slot_pair=pair, round_index=round_index)
         )
-        return Transmission(
-            sender=self.node,
-            power=power,
-            message=AckMessage(
+        return (
+            self._round_power(round_index),
+            AckMessage(
                 sender=self.node, target_id=broadcast.sender_id, round_index=round_index, slot_pair=pair
             ),
         )
@@ -300,7 +313,9 @@ class InitialTreeBuilder:
             )
             for node, agent_rng in zip(node_list, agent_rngs)
         ]
-        simulator = Simulator(agents, Channel(self.params))
+        # Columnar trace: the slot loop is the hot path and only aggregate
+        # counts (plus on-demand records) are ever read from the result.
+        simulator = Simulator(agents, Channel(self.params), trace_level="columnar")
 
         rounds_used = 0
         sweeps_used = 0

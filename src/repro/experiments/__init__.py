@@ -15,7 +15,8 @@ from . import (
     f3_uniform_lower_bound,
 )
 from .config import ExperimentConfig
-from .runner import ExperimentResult, average_rows, make_deployment
+from .parallel import default_workers, map_trials
+from .runner import ExperimentResult, average_rows, make_deployment, run_sweep
 
 ALL_EXPERIMENTS = {
     "E1": e1_init.run,
@@ -44,6 +45,9 @@ __all__ = [
     "ExperimentResult",
     "average_rows",
     "make_deployment",
+    "run_sweep",
+    "map_trials",
+    "default_workers",
     "ALL_EXPERIMENTS",
     "run_all",
 ]

@@ -29,6 +29,11 @@ class ExperimentConfig:
         params: SINR model parameters.
         constants: protocol constants.
         delta_sweep_size: fixed ``n`` used while sweeping Delta.
+        workers: trial-level parallelism.  ``1`` (default) runs trials
+            sequentially in-process; ``k > 1`` fans independent trials out
+            over ``k`` worker processes; ``-1`` uses all cores but one.
+            Results are identical either way (trials are deterministically
+            seeded from their own arguments).
     """
 
     sizes: tuple[int, ...] = (32, 64, 128)
@@ -38,6 +43,7 @@ class ExperimentConfig:
     params: SINRParameters = field(default_factory=SINRParameters)
     constants: AlgorithmConstants = DEFAULT_CONSTANTS
     delta_sweep_size: int = 48
+    workers: int = 1
 
     @staticmethod
     def quick() -> "ExperimentConfig":

@@ -8,9 +8,34 @@ import numpy as np
 
 from ..core import InitialTreeBuilder
 from .config import ExperimentConfig
-from .runner import ExperimentResult, make_deployment
+from .runner import ExperimentResult, make_deployment, run_sweep
 
 __all__ = ["run"]
+
+
+def _trial(args: tuple[ExperimentConfig, int, int]) -> tuple[dict, float]:
+    """One (n, seed) trial; returns the row plus the unrounded slot ratio."""
+    config, n, seed = args
+    builder = InitialTreeBuilder(config.params, config.constants)
+    nodes = make_deployment(config, n, seed)
+    rng = np.random.default_rng(1000 + seed)
+    outcome = builder.build(nodes, rng)
+    outcome.tree.validate()
+    bound = math.log2(max(outcome.delta, 2.0)) * math.log2(max(n, 2))
+    ratio = outcome.slots_used / bound
+    row = {
+        "n": n,
+        "seed": seed,
+        "delta": round(outcome.delta, 1),
+        "slots": outcome.slots_used,
+        "rounds": outcome.rounds_used,
+        "sweeps": outcome.sweeps_used,
+        "logD_logn": round(bound, 1),
+        "slots_per_logD_logn": round(ratio, 2),
+        "strongly_connected": outcome.tree.is_strongly_connected(),
+        "schedule_len": outcome.tree.aggregation_schedule.length,
+    }
+    return row, ratio
 
 
 def run(config: ExperimentConfig | None = None) -> ExperimentResult:
@@ -20,30 +45,9 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         experiment_id="E1",
         title="Init builds a strongly connected bi-tree in O(log Delta * log n) slots (Thm 2)",
     )
-    builder = InitialTreeBuilder(config.params, config.constants)
-    ratios = []
-    for n, seed in config.trials():
-        nodes = make_deployment(config, n, seed)
-        rng = np.random.default_rng(1000 + seed)
-        outcome = builder.build(nodes, rng)
-        outcome.tree.validate()
-        bound = math.log2(max(outcome.delta, 2.0)) * math.log2(max(n, 2))
-        ratio = outcome.slots_used / bound
-        ratios.append(ratio)
-        result.rows.append(
-            {
-                "n": n,
-                "seed": seed,
-                "delta": round(outcome.delta, 1),
-                "slots": outcome.slots_used,
-                "rounds": outcome.rounds_used,
-                "sweeps": outcome.sweeps_used,
-                "logD_logn": round(bound, 1),
-                "slots_per_logD_logn": round(ratio, 2),
-                "strongly_connected": outcome.tree.is_strongly_connected(),
-                "schedule_len": outcome.tree.aggregation_schedule.length,
-            }
-        )
+    outcomes = run_sweep(_trial, config)
+    result.rows = [row for row, _ in outcomes]
+    ratios = [ratio for _, ratio in outcomes]
     result.summary = {
         "mean_slots_per_logD_logn": round(float(np.mean(ratios)), 2),
         "max_slots_per_logD_logn": round(float(np.max(ratios)), 2),

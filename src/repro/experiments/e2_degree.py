@@ -9,9 +9,31 @@ import numpy as np
 from ..analysis import degree_statistics
 from ..core import InitialTreeBuilder
 from .config import ExperimentConfig
-from .runner import ExperimentResult, make_deployment
+from .runner import ExperimentResult, make_deployment, run_sweep
 
 __all__ = ["run"]
+
+
+def _trial(args: tuple[ExperimentConfig, int, int]) -> tuple[dict, float]:
+    """One (n, seed) trial; returns the row plus the unrounded degree ratio."""
+    config, n, seed = args
+    builder = InitialTreeBuilder(config.params, config.constants)
+    nodes = make_deployment(config, n, seed)
+    rng = np.random.default_rng(2000 + seed)
+    outcome = builder.build(nodes, rng)
+    stats = degree_statistics(outcome.tree)
+    stored_max = max(outcome.stored_degrees.values(), default=0)
+    log_n = math.log2(max(n, 2))
+    row = {
+        "n": n,
+        "seed": seed,
+        "max_degree": stats.max_degree,
+        "mean_degree": round(stats.mean_degree, 2),
+        "stored_max_degree": stored_max,
+        "log2_n": round(log_n, 1),
+        "max_degree_per_log_n": round(stats.max_degree / log_n, 2),
+    }
+    return row, stats.max_degree / log_n
 
 
 def run(config: ExperimentConfig | None = None) -> ExperimentResult:
@@ -21,27 +43,9 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         experiment_id="E2",
         title="Init tree max degree is O(log n) with exponential tail (Thm 7)",
     )
-    builder = InitialTreeBuilder(config.params, config.constants)
-    ratios = []
-    for n, seed in config.trials():
-        nodes = make_deployment(config, n, seed)
-        rng = np.random.default_rng(2000 + seed)
-        outcome = builder.build(nodes, rng)
-        stats = degree_statistics(outcome.tree)
-        stored_max = max(outcome.stored_degrees.values(), default=0)
-        log_n = math.log2(max(n, 2))
-        ratios.append(stats.max_degree / log_n)
-        result.rows.append(
-            {
-                "n": n,
-                "seed": seed,
-                "max_degree": stats.max_degree,
-                "mean_degree": round(stats.mean_degree, 2),
-                "stored_max_degree": stored_max,
-                "log2_n": round(log_n, 1),
-                "max_degree_per_log_n": round(stats.max_degree / log_n, 2),
-            }
-        )
+    outcomes = run_sweep(_trial, config)
+    result.rows = [row for row, _ in outcomes]
+    ratios = [ratio for _, ratio in outcomes]
     result.summary = {
         "mean_max_degree_per_log_n": round(float(np.mean(ratios)), 2),
         "max_max_degree_per_log_n": round(float(np.max(ratios)), 2),

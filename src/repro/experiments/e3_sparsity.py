@@ -9,9 +9,29 @@ import numpy as np
 from ..analysis import tree_sparsity
 from ..core import InitialTreeBuilder
 from .config import ExperimentConfig
-from .runner import ExperimentResult, make_deployment
+from .runner import ExperimentResult, make_deployment, run_sweep
 
 __all__ = ["run"]
+
+
+def _trial(args: tuple[ExperimentConfig, int, int]) -> tuple[dict, float]:
+    """One (n, seed) trial; returns the row plus the unrounded sparsity ratio."""
+    config, n, seed = args
+    builder = InitialTreeBuilder(config.params, config.constants)
+    nodes = make_deployment(config, n, seed)
+    rng = np.random.default_rng(3000 + seed)
+    outcome = builder.build(nodes, rng)
+    psi = tree_sparsity(outcome.tree)
+    log_n = math.log2(max(n, 2))
+    row = {
+        "n": n,
+        "seed": seed,
+        "delta": round(outcome.delta, 1),
+        "sparsity_psi": psi,
+        "log2_n": round(log_n, 1),
+        "psi_per_log_n": round(psi / log_n, 2),
+    }
+    return row, psi / log_n
 
 
 def run(config: ExperimentConfig | None = None) -> ExperimentResult:
@@ -21,25 +41,9 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         experiment_id="E3",
         title="Init tree is O(log n)-sparse under Definition 8 (Thm 11)",
     )
-    builder = InitialTreeBuilder(config.params, config.constants)
-    ratios = []
-    for n, seed in config.trials():
-        nodes = make_deployment(config, n, seed)
-        rng = np.random.default_rng(3000 + seed)
-        outcome = builder.build(nodes, rng)
-        psi = tree_sparsity(outcome.tree)
-        log_n = math.log2(max(n, 2))
-        ratios.append(psi / log_n)
-        result.rows.append(
-            {
-                "n": n,
-                "seed": seed,
-                "delta": round(outcome.delta, 1),
-                "sparsity_psi": psi,
-                "log2_n": round(log_n, 1),
-                "psi_per_log_n": round(psi / log_n, 2),
-            }
-        )
+    outcomes = run_sweep(_trial, config)
+    result.rows = [row for row, _ in outcomes]
+    ratios = [ratio for _, ratio in outcomes]
     result.summary = {
         "mean_psi_per_log_n": round(float(np.mean(ratios)), 2),
         "max_psi_per_log_n": round(float(np.max(ratios)), 2),

@@ -22,9 +22,44 @@ from ..baselines import UniformScheduler
 from ..core import InitialTreeBuilder, MeanPowerRescheduler, first_fit_schedule, upsilon
 from ..sinr import MeanPower
 from .config import ExperimentConfig
-from .runner import ExperimentResult, make_deployment
+from .runner import ExperimentResult, make_deployment, run_sweep
 
 __all__ = ["run"]
+
+
+def _trial(args: tuple[ExperimentConfig, int, int]) -> dict:
+    """One (n, seed) trial: schedule the same Init tree under every regime."""
+    config, n, seed = args
+    builder = InitialTreeBuilder(config.params, config.constants)
+    rescheduler = MeanPowerRescheduler(config.params, config.constants)
+    uniform = UniformScheduler(config.params)
+    nodes = make_deployment(config, n, seed)
+    rng = np.random.default_rng(4000 + seed)
+    outcome = builder.build(nodes, rng)
+    links = outcome.tree.aggregation_links()
+    initial_length = outcome.tree.aggregation_schedule.length
+    uniform_length = uniform.schedule(links).schedule_length
+    mean_ff_power = MeanPower.for_max_length(config.params, max(outcome.delta, 1.0))
+    mean_ff_length = first_fit_schedule(links, mean_ff_power, config.params).length
+    rescheduled = rescheduler.reschedule(links, rng)
+    mean_length = rescheduled.schedule_length
+    feasible = rescheduled.schedule.is_feasible(rescheduled.power, config.params)
+    ups = upsilon(n, max(outcome.delta, 1.0))
+    return {
+        "n": n,
+        "seed": seed,
+        "delta": round(outcome.delta, 1),
+        "initial_len": initial_length,
+        "uniform_ff_len": uniform_length,
+        "mean_ff_len": mean_ff_length,
+        "mean_resched_len": mean_length,
+        "resched_frames": rescheduled.frames_elapsed,
+        "upsilon": round(ups, 1),
+        "mean_len_per_upsilon_logn": round(
+            mean_length / (ups * math.log2(max(n, 2))), 3
+        ),
+        "feasible": feasible,
+    }
 
 
 def run(config: ExperimentConfig | None = None) -> ExperimentResult:
@@ -34,42 +69,8 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         experiment_id="E4",
         title="Mean-power rescheduling of the Init tree (Thm 3)",
     )
-    builder = InitialTreeBuilder(config.params, config.constants)
-    rescheduler = MeanPowerRescheduler(config.params, config.constants)
-    uniform = UniformScheduler(config.params)
-    wins = 0
-    for n, seed in config.trials():
-        nodes = make_deployment(config, n, seed)
-        rng = np.random.default_rng(4000 + seed)
-        outcome = builder.build(nodes, rng)
-        links = outcome.tree.aggregation_links()
-        initial_length = outcome.tree.aggregation_schedule.length
-        uniform_length = uniform.schedule(links).schedule_length
-        mean_ff_power = MeanPower.for_max_length(config.params, max(outcome.delta, 1.0))
-        mean_ff_length = first_fit_schedule(links, mean_ff_power, config.params).length
-        rescheduled = rescheduler.reschedule(links, rng)
-        mean_length = rescheduled.schedule_length
-        feasible = rescheduled.schedule.is_feasible(rescheduled.power, config.params)
-        ups = upsilon(n, max(outcome.delta, 1.0))
-        if mean_length <= initial_length:
-            wins += 1
-        result.rows.append(
-            {
-                "n": n,
-                "seed": seed,
-                "delta": round(outcome.delta, 1),
-                "initial_len": initial_length,
-                "uniform_ff_len": uniform_length,
-                "mean_ff_len": mean_ff_length,
-                "mean_resched_len": mean_length,
-                "resched_frames": rescheduled.frames_elapsed,
-                "upsilon": round(ups, 1),
-                "mean_len_per_upsilon_logn": round(
-                    mean_length / (ups * math.log2(max(n, 2))), 3
-                ),
-                "feasible": feasible,
-            }
-        )
+    result.rows = run_sweep(_trial, config)
+    wins = sum(1 for row in result.rows if row["mean_resched_len"] <= row["initial_len"])
     result.summary = {
         "reschedule_no_worse_than_initial": f"{wins}/{len(result.rows)}",
         "all_feasible": all(row["feasible"] for row in result.rows),

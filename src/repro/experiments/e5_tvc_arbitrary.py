@@ -10,9 +10,33 @@ import numpy as np
 from ..analysis import validate_bitree
 from ..core import TreeViaCapacity
 from .config import ExperimentConfig
-from .runner import ExperimentResult, make_deployment
+from .runner import ExperimentResult, make_deployment, run_sweep
 
 __all__ = ["run"]
+
+
+def _trial(args: tuple[ExperimentConfig, int, int]) -> tuple[dict, float]:
+    """One (n, seed) trial; returns the row plus the unrounded length ratio."""
+    config, n, seed = args
+    framework = TreeViaCapacity(config.params, config.constants, power_mode="arbitrary")
+    nodes = make_deployment(config, n, seed)
+    rng = np.random.default_rng(5000 + seed)
+    outcome = framework.build(nodes, rng)
+    report = validate_bitree(outcome.tree, nodes, outcome.power, config.params)
+    log_n = math.log2(max(n, 2))
+    fractions = [record.progress_fraction for record in outcome.iterations]
+    row = {
+        "n": n,
+        "seed": seed,
+        "delta": round(outcome.delta, 1),
+        "schedule_len": outcome.schedule_length,
+        "iterations": len(outcome.iterations),
+        "len_per_log_n": round(outcome.schedule_length / log_n, 2),
+        "mean_progress_fraction": round(float(np.mean(fractions)), 2) if fractions else 0.0,
+        "construction_slots": outcome.construction_slots,
+        "valid": report.ok,
+    }
+    return row, outcome.schedule_length / log_n
 
 
 def run(config: ExperimentConfig | None = None) -> ExperimentResult:
@@ -22,29 +46,9 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         experiment_id="E5",
         title="TreeViaCapacity + power control: O(log n)-slot bi-tree (Thm 4/21)",
     )
-    framework = TreeViaCapacity(config.params, config.constants, power_mode="arbitrary")
-    ratios = []
-    for n, seed in config.trials():
-        nodes = make_deployment(config, n, seed)
-        rng = np.random.default_rng(5000 + seed)
-        outcome = framework.build(nodes, rng)
-        report = validate_bitree(outcome.tree, nodes, outcome.power, config.params)
-        log_n = math.log2(max(n, 2))
-        ratios.append(outcome.schedule_length / log_n)
-        fractions = [record.progress_fraction for record in outcome.iterations]
-        result.rows.append(
-            {
-                "n": n,
-                "seed": seed,
-                "delta": round(outcome.delta, 1),
-                "schedule_len": outcome.schedule_length,
-                "iterations": len(outcome.iterations),
-                "len_per_log_n": round(outcome.schedule_length / log_n, 2),
-                "mean_progress_fraction": round(float(np.mean(fractions)), 2) if fractions else 0.0,
-                "construction_slots": outcome.construction_slots,
-                "valid": report.ok,
-            }
-        )
+    outcomes = run_sweep(_trial, config)
+    result.rows = [row for row, _ in outcomes]
+    ratios = [ratio for _, ratio in outcomes]
     result.summary = {
         "mean_len_per_log_n": round(float(np.mean(ratios)), 2),
         "max_len_per_log_n": round(float(np.max(ratios)), 2),

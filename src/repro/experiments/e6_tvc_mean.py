@@ -9,9 +9,33 @@ import numpy as np
 
 from ..core import TreeViaCapacity, upsilon
 from .config import ExperimentConfig
-from .runner import ExperimentResult, make_deployment
+from .runner import ExperimentResult, make_deployment, run_sweep
 
 __all__ = ["run"]
+
+
+def _trial(args: tuple[ExperimentConfig, int, int]) -> tuple[dict, float]:
+    """One (n, seed) trial; returns the row plus the unrounded length ratio."""
+    config, n, seed = args
+    framework = TreeViaCapacity(config.params, config.constants, power_mode="mean")
+    nodes = make_deployment(config, n, seed)
+    rng = np.random.default_rng(6000 + seed)
+    outcome = framework.build(nodes, rng)
+    log_n = math.log2(max(n, 2))
+    ups = upsilon(n, max(outcome.delta, 1.0))
+    ratio = outcome.schedule_length / (ups * log_n)
+    row = {
+        "n": n,
+        "seed": seed,
+        "delta": round(outcome.delta, 1),
+        "schedule_len": outcome.schedule_length,
+        "upsilon": round(ups, 1),
+        "len_per_upsilon_log_n": round(ratio, 3),
+        "len_per_log_n": round(outcome.schedule_length / log_n, 2),
+        "aggregation_feasible": outcome.aggregation_feasible,
+        "construction_slots": outcome.construction_slots,
+    }
+    return row, ratio
 
 
 def run(config: ExperimentConfig | None = None) -> ExperimentResult:
@@ -21,28 +45,9 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         experiment_id="E6",
         title="TreeViaCapacity + mean power: O(Upsilon log n)-slot bi-tree (Thm 16)",
     )
-    framework = TreeViaCapacity(config.params, config.constants, power_mode="mean")
-    ratios = []
-    for n, seed in config.trials():
-        nodes = make_deployment(config, n, seed)
-        rng = np.random.default_rng(6000 + seed)
-        outcome = framework.build(nodes, rng)
-        log_n = math.log2(max(n, 2))
-        ups = upsilon(n, max(outcome.delta, 1.0))
-        ratios.append(outcome.schedule_length / (ups * log_n))
-        result.rows.append(
-            {
-                "n": n,
-                "seed": seed,
-                "delta": round(outcome.delta, 1),
-                "schedule_len": outcome.schedule_length,
-                "upsilon": round(ups, 1),
-                "len_per_upsilon_log_n": round(outcome.schedule_length / (ups * log_n), 3),
-                "len_per_log_n": round(outcome.schedule_length / log_n, 2),
-                "aggregation_feasible": outcome.aggregation_feasible,
-                "construction_slots": outcome.construction_slots,
-            }
-        )
+    outcomes = run_sweep(_trial, config)
+    result.rows = [row for row, _ in outcomes]
+    ratios = [ratio for _, ratio in outcomes]
     result.summary = {
         "mean_len_per_upsilon_log_n": round(float(np.mean(ratios)), 3),
         "all_feasible": all(row["aggregation_feasible"] for row in result.rows),

@@ -8,9 +8,33 @@ import numpy as np
 from ..core import InitialTreeBuilder, degree_bounded_subset
 from ..links import sparsity
 from .config import ExperimentConfig
-from .runner import ExperimentResult, make_deployment
+from .runner import ExperimentResult, make_deployment, run_sweep
 
 __all__ = ["run"]
+
+
+def _trial(args: tuple[ExperimentConfig, int, int]) -> tuple[dict, float, int]:
+    """One (n, seed) trial; returns the row, the fraction, and T(M)'s sparsity."""
+    config, n, seed = args
+    builder = InitialTreeBuilder(config.params, config.constants)
+    nodes = make_deployment(config, n, seed)
+    rng = np.random.default_rng(7000 + seed)
+    outcome = builder.build(nodes, rng)
+    tree_links = outcome.tree.aggregation_links()
+    subset = degree_bounded_subset(tree_links, config.constants.degree_cap_rho)
+    tree_psi = sparsity(tree_links).psi
+    subset_psi = sparsity(subset.subset).psi
+    row = {
+        "n": n,
+        "seed": seed,
+        "rho": subset.rho,
+        "tree_links": len(tree_links),
+        "tm_links": len(subset.subset),
+        "fraction": round(subset.fraction, 2),
+        "tree_sparsity": tree_psi,
+        "tm_sparsity": subset_psi,
+    }
+    return row, subset.fraction, subset_psi
 
 
 def run(config: ExperimentConfig | None = None) -> ExperimentResult:
@@ -20,31 +44,10 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         experiment_id="E7",
         title="Degree-bounded subset T(M): O(1)-sparse, constant fraction of T (Thm 13)",
     )
-    builder = InitialTreeBuilder(config.params, config.constants)
-    fractions = []
-    sparsities = []
-    for n, seed in config.trials():
-        nodes = make_deployment(config, n, seed)
-        rng = np.random.default_rng(7000 + seed)
-        outcome = builder.build(nodes, rng)
-        tree_links = outcome.tree.aggregation_links()
-        subset = degree_bounded_subset(tree_links, config.constants.degree_cap_rho)
-        tree_psi = sparsity(tree_links).psi
-        subset_psi = sparsity(subset.subset).psi
-        fractions.append(subset.fraction)
-        sparsities.append(subset_psi)
-        result.rows.append(
-            {
-                "n": n,
-                "seed": seed,
-                "rho": subset.rho,
-                "tree_links": len(tree_links),
-                "tm_links": len(subset.subset),
-                "fraction": round(subset.fraction, 2),
-                "tree_sparsity": tree_psi,
-                "tm_sparsity": subset_psi,
-            }
-        )
+    outcomes = run_sweep(_trial, config)
+    result.rows = [row for row, _, _ in outcomes]
+    fractions = [fraction for _, fraction, _ in outcomes]
+    sparsities = [psi for _, _, psi in outcomes]
     result.summary = {
         "min_fraction": round(float(np.min(fractions)), 2),
         "mean_fraction": round(float(np.mean(fractions)), 2),

@@ -8,9 +8,35 @@ import numpy as np
 from ..analysis import pairwise_latency, simulate_broadcast, simulate_convergecast
 from ..core import TreeViaCapacity
 from .config import ExperimentConfig
-from .runner import ExperimentResult, make_deployment
+from .runner import ExperimentResult, make_deployment, run_sweep
 
 __all__ = ["run"]
+
+
+def _trial(args: tuple[ExperimentConfig, int, int]) -> dict:
+    """One (n, seed) trial: replay all three traffic patterns on a TVC bi-tree."""
+    config, n, seed = args
+    framework = TreeViaCapacity(config.params, config.constants, power_mode="arbitrary")
+    nodes = make_deployment(config, n, seed)
+    rng = np.random.default_rng(8000 + seed)
+    outcome = framework.build(nodes, rng)
+    up = simulate_convergecast(outcome.tree, outcome.power, config.params)
+    down = simulate_broadcast(outcome.tree, outcome.power, config.params)
+    node_ids = sorted(outcome.tree.nodes)
+    pair = pairwise_latency(
+        outcome.tree, outcome.power, config.params, node_ids[0], node_ids[-1]
+    )
+    return {
+        "n": n,
+        "seed": seed,
+        "schedule_len": outcome.schedule_length,
+        "convergecast_slots": up.slots,
+        "convergecast_ok": up.correct,
+        "broadcast_slots": down.slots,
+        "broadcast_ok": down.complete,
+        "pairwise_slots": pair.slots,
+        "pairwise_ok": pair.delivered,
+    }
 
 
 def run(config: ExperimentConfig | None = None) -> ExperimentResult:
@@ -20,30 +46,7 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         experiment_id="E8",
         title="Bi-tree latency: aggregation, broadcast, pairwise all O(schedule length)",
     )
-    framework = TreeViaCapacity(config.params, config.constants, power_mode="arbitrary")
-    for n, seed in config.trials():
-        nodes = make_deployment(config, n, seed)
-        rng = np.random.default_rng(8000 + seed)
-        outcome = framework.build(nodes, rng)
-        up = simulate_convergecast(outcome.tree, outcome.power, config.params)
-        down = simulate_broadcast(outcome.tree, outcome.power, config.params)
-        node_ids = sorted(outcome.tree.nodes)
-        pair = pairwise_latency(
-            outcome.tree, outcome.power, config.params, node_ids[0], node_ids[-1]
-        )
-        result.rows.append(
-            {
-                "n": n,
-                "seed": seed,
-                "schedule_len": outcome.schedule_length,
-                "convergecast_slots": up.slots,
-                "convergecast_ok": up.correct,
-                "broadcast_slots": down.slots,
-                "broadcast_ok": down.complete,
-                "pairwise_slots": pair.slots,
-                "pairwise_ok": pair.delivered,
-            }
-        )
+    result.rows = run_sweep(_trial, config)
     result.summary = {
         "all_convergecasts_correct": all(row["convergecast_ok"] for row in result.rows),
         "all_broadcasts_complete": all(row["broadcast_ok"] for row in result.rows),

@@ -21,9 +21,39 @@ from ..core import (
 from ..links import sparsity
 from ..sinr import MeanPower, is_feasible
 from .config import ExperimentConfig
-from .runner import ExperimentResult, make_deployment
+from .runner import ExperimentResult, make_deployment, run_sweep
 
 __all__ = ["run"]
+
+
+def _trial(args: tuple[ExperimentConfig, int, int]) -> dict:
+    """One (n, seed) trial: select and schedule the Init tree's link set."""
+    config, n, seed = args
+    builder = InitialTreeBuilder(config.params, config.constants)
+    nodes = make_deployment(config, n, seed)
+    rng = np.random.default_rng(9000 + seed)
+    outcome = builder.build(nodes, rng)
+    links = outcome.tree.aggregation_links()
+    psi = sparsity(links).psi
+    selected = select_power_controllable_subset(
+        links, config.params, tau=config.constants.capacity_tau
+    )
+    power = solve_power(list(selected), config.params, margin=1.05)
+    selected_feasible = is_feasible(list(selected), power, config.params)
+    mean_power = MeanPower.for_max_length(config.params, max(outcome.delta, 1.0))
+    schedule = first_fit_schedule(links, mean_power, config.params)
+    log_n = math.log2(max(n, 2))
+    return {
+        "n": n,
+        "seed": seed,
+        "links": len(links),
+        "sparsity_psi": psi,
+        "selected": len(selected),
+        "selected_fraction": round(len(selected) / max(len(links), 1), 2),
+        "selected_feasible": selected_feasible,
+        "ff_mean_schedule_len": schedule.length,
+        "ff_len_per_psi_log_n": round(schedule.length / max(psi * log_n, 1.0), 3),
+    }
 
 
 def run(config: ExperimentConfig | None = None) -> ExperimentResult:
@@ -33,34 +63,7 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         experiment_id="E9",
         title="Sparse-set capacity and scheduling substrate (Thm 9)",
     )
-    builder = InitialTreeBuilder(config.params, config.constants)
-    for n, seed in config.trials():
-        nodes = make_deployment(config, n, seed)
-        rng = np.random.default_rng(9000 + seed)
-        outcome = builder.build(nodes, rng)
-        links = outcome.tree.aggregation_links()
-        psi = sparsity(links).psi
-        selected = select_power_controllable_subset(
-            links, config.params, tau=config.constants.capacity_tau
-        )
-        power = solve_power(list(selected), config.params, margin=1.05)
-        selected_feasible = is_feasible(list(selected), power, config.params)
-        mean_power = MeanPower.for_max_length(config.params, max(outcome.delta, 1.0))
-        schedule = first_fit_schedule(links, mean_power, config.params)
-        log_n = math.log2(max(n, 2))
-        result.rows.append(
-            {
-                "n": n,
-                "seed": seed,
-                "links": len(links),
-                "sparsity_psi": psi,
-                "selected": len(selected),
-                "selected_fraction": round(len(selected) / max(len(links), 1), 2),
-                "selected_feasible": selected_feasible,
-                "ff_mean_schedule_len": schedule.length,
-                "ff_len_per_psi_log_n": round(schedule.length / max(psi * log_n, 1.0), 3),
-            }
-        )
+    result.rows = run_sweep(_trial, config)
     result.summary = {
         "all_selected_feasible": all(row["selected_feasible"] for row in result.rows),
         "mean_selected_fraction": round(

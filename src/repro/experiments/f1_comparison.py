@@ -18,7 +18,7 @@ import numpy as np
 from ..baselines import CentralizedMSTBaseline, UniformScheduler, naive_tdma_schedule
 from ..core import InitialTreeBuilder, MeanPowerRescheduler, TreeViaCapacity
 from .config import ExperimentConfig
-from .runner import ExperimentResult, average_rows, make_deployment
+from .runner import ExperimentResult, average_rows, make_deployment, run_sweep
 
 __all__ = ["run"]
 
@@ -33,6 +33,37 @@ _METHOD_FIELDS = (
 )
 
 
+def _trial(args: tuple[ExperimentConfig, int, int]) -> dict:
+    """One (n, seed) trial: run every method on the same deployment.
+
+    The methods consume the shared ``rng`` sequentially, exactly as the
+    original in-line sweep did, so rows are bit-identical to the sequential
+    run regardless of how trials are distributed over workers.
+    """
+    config, n, seed = args
+    builder = InitialTreeBuilder(config.params, config.constants)
+    rescheduler = MeanPowerRescheduler(config.params, config.constants)
+    uniform = UniformScheduler(config.params)
+    centralized = CentralizedMSTBaseline(config.params, power_scheme="mean")
+    tvc_arbitrary = TreeViaCapacity(config.params, config.constants, power_mode="arbitrary")
+    tvc_mean = TreeViaCapacity(config.params, config.constants, power_mode="mean")
+    nodes = make_deployment(config, n, seed)
+    rng = np.random.default_rng(11000 + seed)
+    init_outcome = builder.build(nodes, rng)
+    links = init_outcome.tree.aggregation_links()
+    return {
+        "n": n,
+        "seed": seed,
+        "init_stamps": init_outcome.tree.aggregation_schedule.length,
+        "uniform_ff": uniform.schedule(links).schedule_length,
+        "mean_reschedule": rescheduler.reschedule(links, rng).schedule_length,
+        "tvc_mean": tvc_mean.build(nodes, rng).schedule_length,
+        "tvc_arbitrary": tvc_arbitrary.build(nodes, rng).schedule_length,
+        "centralized_mst": centralized.build(nodes).schedule_length,
+        "naive_tdma": naive_tdma_schedule(links, config.params).schedule_length,
+    }
+
+
 def run(config: ExperimentConfig | None = None) -> ExperimentResult:
     """Compare schedule lengths across all methods and sizes."""
     config = config or ExperimentConfig()
@@ -40,31 +71,7 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         experiment_id="F1",
         title="Schedule-length comparison across methods (distributed vs centralized)",
     )
-    builder = InitialTreeBuilder(config.params, config.constants)
-    rescheduler = MeanPowerRescheduler(config.params, config.constants)
-    uniform = UniformScheduler(config.params)
-    centralized = CentralizedMSTBaseline(config.params, power_scheme="mean")
-    tvc_arbitrary = TreeViaCapacity(config.params, config.constants, power_mode="arbitrary")
-    tvc_mean = TreeViaCapacity(config.params, config.constants, power_mode="mean")
-
-    raw_rows = []
-    for n, seed in config.trials():
-        nodes = make_deployment(config, n, seed)
-        rng = np.random.default_rng(11000 + seed)
-        init_outcome = builder.build(nodes, rng)
-        links = init_outcome.tree.aggregation_links()
-        row = {
-            "n": n,
-            "seed": seed,
-            "init_stamps": init_outcome.tree.aggregation_schedule.length,
-            "uniform_ff": uniform.schedule(links).schedule_length,
-            "mean_reschedule": rescheduler.reschedule(links, rng).schedule_length,
-            "tvc_mean": tvc_mean.build(nodes, rng).schedule_length,
-            "tvc_arbitrary": tvc_arbitrary.build(nodes, rng).schedule_length,
-            "centralized_mst": centralized.build(nodes).schedule_length,
-            "naive_tdma": naive_tdma_schedule(links, config.params).schedule_length,
-        }
-        raw_rows.append(row)
+    raw_rows = run_sweep(_trial, config)
     result.rows = average_rows(raw_rows, "n", _METHOD_FIELDS)
 
     arbitrary_vs_centralized = [

@@ -17,9 +17,39 @@ from ..core import InitialTreeBuilder, MeanPowerRescheduler, TreeViaCapacity, fi
 from ..geometry import two_scale
 from ..sinr import MeanPower
 from .config import ExperimentConfig
+from .parallel import map_trials
 from .runner import ExperimentResult, average_rows
 
 __all__ = ["run"]
+
+
+def _trial(args: tuple[ExperimentConfig, float, int]) -> dict:
+    """One (delta_target, seed) trial at the fixed sweep size."""
+    config, delta_target, seed = args
+    n = config.delta_sweep_size
+    builder = InitialTreeBuilder(config.params, config.constants)
+    rescheduler = MeanPowerRescheduler(config.params, config.constants)
+    uniform = UniformScheduler(config.params)
+    tvc_arbitrary = TreeViaCapacity(config.params, config.constants, power_mode="arbitrary")
+    rng = np.random.default_rng(12000 + seed)
+    nodes = two_scale(n, rng, delta_target=delta_target)
+    init_outcome = builder.build(nodes, rng)
+    links = init_outcome.tree.aggregation_links()
+    mean_power = MeanPower.for_max_length(config.params, max(init_outcome.delta, 1.0))
+    tvc_outcome = tvc_arbitrary.build(nodes, rng)
+    return {
+        "delta_target": float(delta_target),
+        "seed": seed,
+        "realized_delta": round(init_outcome.delta, 1),
+        "log2_delta": round(math.log2(max(init_outcome.delta, 2.0)), 1),
+        "upsilon": round(upsilon(n, max(init_outcome.delta, 1.0)), 1),
+        "init_construction_slots": init_outcome.slots_used,
+        "init_stamps_len": init_outcome.tree.aggregation_schedule.length,
+        "uniform_ff_len": uniform.schedule(links).schedule_length,
+        "mean_ff_len": first_fit_schedule(links, mean_power, config.params).length,
+        "mean_reschedule_len": rescheduler.reschedule(links, rng).schedule_length,
+        "tvc_arbitrary_len": tvc_outcome.schedule_length,
+    }
 
 
 def run(config: ExperimentConfig | None = None) -> ExperimentResult:
@@ -29,36 +59,15 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         experiment_id="F2",
         title="Delta dependence of construction cost and schedule length",
     )
-    n = config.delta_sweep_size
-    builder = InitialTreeBuilder(config.params, config.constants)
-    rescheduler = MeanPowerRescheduler(config.params, config.constants)
-    uniform = UniformScheduler(config.params)
-    tvc_arbitrary = TreeViaCapacity(config.params, config.constants, power_mode="arbitrary")
-
-    raw_rows = []
-    for delta_target in config.delta_targets:
-        for seed in config.seeds:
-            rng = np.random.default_rng(12000 + seed)
-            nodes = two_scale(n, rng, delta_target=delta_target)
-            init_outcome = builder.build(nodes, rng)
-            links = init_outcome.tree.aggregation_links()
-            mean_power = MeanPower.for_max_length(config.params, max(init_outcome.delta, 1.0))
-            tvc_outcome = tvc_arbitrary.build(nodes, rng)
-            raw_rows.append(
-                {
-                    "delta_target": float(delta_target),
-                    "seed": seed,
-                    "realized_delta": round(init_outcome.delta, 1),
-                    "log2_delta": round(math.log2(max(init_outcome.delta, 2.0)), 1),
-                    "upsilon": round(upsilon(n, max(init_outcome.delta, 1.0)), 1),
-                    "init_construction_slots": init_outcome.slots_used,
-                    "init_stamps_len": init_outcome.tree.aggregation_schedule.length,
-                    "uniform_ff_len": uniform.schedule(links).schedule_length,
-                    "mean_ff_len": first_fit_schedule(links, mean_power, config.params).length,
-                    "mean_reschedule_len": rescheduler.reschedule(links, rng).schedule_length,
-                    "tvc_arbitrary_len": tvc_outcome.schedule_length,
-                }
-            )
+    raw_rows = map_trials(
+        _trial,
+        [
+            (config, delta_target, seed)
+            for delta_target in config.delta_targets
+            for seed in config.seeds
+        ],
+        workers=config.workers,
+    )
     fields = (
         "realized_delta",
         "log2_delta",
@@ -75,7 +84,7 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
     smallest = result.rows[0]
     largest = result.rows[-1]
     result.summary = {
-        "n": n,
+        "n": config.delta_sweep_size,
         "init_slots_growth": round(
             largest["init_construction_slots"] / max(smallest["init_construction_slots"], 1), 2
         ),

@@ -19,6 +19,7 @@ from ..geometry import exponential_chain
 from ..links import Link, LinkSet
 from ..sinr import MeanPower
 from .config import ExperimentConfig
+from .parallel import map_trials
 from .runner import ExperimentResult
 
 __all__ = ["run"]
@@ -30,6 +31,28 @@ def _chain_links(nodes) -> LinkSet:
     return LinkSet(Link(ordered[i + 1], ordered[i]) for i in range(len(ordered) - 1))
 
 
+def _trial(args: tuple[ExperimentConfig, int]) -> dict:
+    """One chain-size trial (the instance is deterministic in ``n``)."""
+    config, n = args
+    uniform = UniformScheduler(config.params)
+    tvc = TreeViaCapacity(config.params, config.constants, power_mode="arbitrary")
+    nodes = exponential_chain(n)
+    links = _chain_links(nodes)
+    delta = 2.0 ** (n - 1)
+    mean_power = MeanPower.for_max_length(config.params, delta)
+    rng = np.random.default_rng(13000 + n)
+    tvc_outcome = tvc.build(nodes, rng)
+    return {
+        "n": n,
+        "delta": delta,
+        "links": len(links),
+        "uniform_ff_len": uniform.schedule(links).schedule_length,
+        "mean_ff_len": first_fit_schedule(links, mean_power, config.params).length,
+        "tvc_arbitrary_len": tvc_outcome.schedule_length,
+        "naive_tdma_len": naive_tdma_schedule(links, config.params).schedule_length,
+    }
+
+
 def run(config: ExperimentConfig | None = None) -> ExperimentResult:
     """Compare schedules of exponential chains under the three power regimes."""
     config = config or ExperimentConfig()
@@ -38,26 +61,11 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         title="Uniform-power worst case: exponential chain needs ~1 slot per link",
     )
     sizes = tuple(min(size, 28) for size in config.sizes)  # Delta = 2**(n-1): keep it finite
-    uniform = UniformScheduler(config.params)
-    tvc = TreeViaCapacity(config.params, config.constants, power_mode="arbitrary")
-    for n in sorted(set(sizes)):
-        nodes = exponential_chain(n)
-        links = _chain_links(nodes)
-        delta = 2.0 ** (n - 1)
-        mean_power = MeanPower.for_max_length(config.params, delta)
-        rng = np.random.default_rng(13000 + n)
-        tvc_outcome = tvc.build(nodes, rng)
-        result.rows.append(
-            {
-                "n": n,
-                "delta": delta,
-                "links": len(links),
-                "uniform_ff_len": uniform.schedule(links).schedule_length,
-                "mean_ff_len": first_fit_schedule(links, mean_power, config.params).length,
-                "tvc_arbitrary_len": tvc_outcome.schedule_length,
-                "naive_tdma_len": naive_tdma_schedule(links, config.params).schedule_length,
-            }
-        )
+    result.rows = map_trials(
+        _trial,
+        [(config, n) for n in sorted(set(sizes))],
+        workers=config.workers,
+    )
     largest = result.rows[-1]
     result.summary = {
         "uniform_slots_per_link_at_max_n": round(

@@ -1,0 +1,65 @@
+"""Parallel multi-trial orchestration for the experiment sweeps.
+
+Every experiment in this package is a sweep of independent trials (one per
+``(size, seed)`` pair, or per ``(delta_target, seed)`` for the Delta sweeps).
+Each trial derives all of its randomness from its own arguments
+(``np.random.default_rng(offset + seed)``), so trials can be evaluated in any
+order - or in different processes - and produce bit-identical rows.
+
+:func:`map_trials` exploits that: it fans the trial function out over a
+``ProcessPoolExecutor`` and returns results in sweep order.  With
+``workers=1`` (the default of :class:`~repro.experiments.config
+.ExperimentConfig.workers`) it degrades to a plain sequential loop, so the
+parallel path is strictly opt-in.
+
+The trial function must be picklable (a module-level function), as must its
+argument tuples and returned rows; every experiment module here follows that
+shape (``_trial`` at module scope, rows of plain scalars).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["default_workers", "map_trials"]
+
+_A = TypeVar("_A")
+_R = TypeVar("_R")
+
+
+def default_workers() -> int:
+    """Worker count used for ``workers=-1``: all cores but one, at least 1."""
+    return max(1, (os.cpu_count() or 1) - 1)
+
+
+def map_trials(
+    trial_fn: Callable[[_A], _R],
+    trial_args: Iterable[_A],
+    *,
+    workers: int | None = None,
+) -> list[_R]:
+    """Evaluate ``trial_fn`` over ``trial_args``, preserving sweep order.
+
+    Args:
+        trial_fn: module-level function of one argument (typically a tuple
+            ``(config, n, seed)``); must be picklable for the process pool.
+        trial_args: the per-trial argument values, in sweep order.
+        workers: ``None``/``0``/``1`` run sequentially in-process; ``k > 1``
+            fans out over ``min(k, len(trials))`` worker processes; ``-1``
+            uses :func:`default_workers`.
+
+    Returns:
+        The per-trial results, in the same order as ``trial_args`` -
+        identical to the sequential result because trials are independent
+        and deterministically seeded from their arguments.
+    """
+    items: Sequence[Any] = list(trial_args)
+    count = workers if workers is not None else 1
+    if count < 0:
+        count = default_workers()
+    if count <= 1 or len(items) <= 1:
+        return [trial_fn(args) for args in items]
+    with ProcessPoolExecutor(max_workers=min(count, len(items))) as pool:
+        return list(pool.map(trial_fn, items))

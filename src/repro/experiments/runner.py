@@ -10,8 +10,9 @@ import numpy as np
 from ..geometry import Node, deployment_by_name
 from ..analysis import format_markdown_table, format_table
 from .config import ExperimentConfig
+from .parallel import map_trials
 
-__all__ = ["ExperimentResult", "make_deployment", "average_rows"]
+__all__ = ["ExperimentResult", "make_deployment", "average_rows", "run_sweep"]
 
 
 @dataclass
@@ -49,6 +50,20 @@ def make_deployment(config: ExperimentConfig, n: int, seed: int, **kwargs) -> li
     """Generate the configured deployment for a trial."""
     rng = np.random.default_rng(seed)
     return deployment_by_name(config.deployment, n, rng, **kwargs)
+
+
+def run_sweep(trial_fn: Callable[[tuple], Any], config: ExperimentConfig) -> list[Any]:
+    """Evaluate a module-level trial function over ``config.trials()``.
+
+    Fans out over ``config.workers`` processes (see
+    :mod:`repro.experiments.parallel`); each trial receives
+    ``(config, n, seed)`` and results come back in sweep order.
+    """
+    return map_trials(
+        trial_fn,
+        [(config, n, seed) for n, seed in config.trials()],
+        workers=config.workers,
+    )
 
 
 def average_rows(

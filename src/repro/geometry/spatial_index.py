@@ -59,13 +59,19 @@ class GridIndex:
         cx, cy = self._cell_of(center)
         reach = int(math.ceil(radius / self._cell_size)) + 1
         result: list[Node] = []
+        # Compare squared distances: one multiply per candidate instead of a
+        # sqrt, and this is the innermost loop of the sparsity estimator.
+        x, y = center.x, center.y
+        radius_sq = radius * radius
         for ix in range(cx - reach, cx + reach + 1):
             for iy in range(cy - reach, cy + reach + 1):
                 bucket = self._cells.get((ix, iy))
                 if not bucket:
                     continue
                 for node in bucket:
-                    if node.position.distance_to(center) <= radius:
+                    dx = node.x - x
+                    dy = node.y - y
+                    if dx * dx + dy * dy <= radius_sq:
                         result.append(node)
         return result
 

@@ -5,18 +5,38 @@ agent for an action, feeds the resulting transmissions through the SINR
 channel, and delivers to every listening agent whatever (if anything) that
 agent decoded.  This is exactly the execution model of the paper: synchronized
 clocks, slotted time, a single shared channel, no carrier sensing.
+
+Two slot engines implement that contract:
+
+* ``engine="batch"`` (default) - agents are polled through
+  :meth:`~repro.runtime.agent.NodeAgent.act_batch`, transmitter/listener
+  indices and powers are collected into arrays, and the channel is resolved
+  through :meth:`~repro.sinr.channel.CachedChannel.resolve_indices` in one
+  vectorized pass; :class:`~repro.sinr.Reception` objects are built only for
+  the listeners that decode.  Results are bit-for-bit identical to the seed
+  engine (the decode arithmetic is shared and agents consume the same
+  randomness either way).
+* ``engine="legacy"`` - the seed per-object path (``act`` returning
+  :class:`Transmission`, ``Channel.resolve`` over node objects), kept as the
+  parity oracle and benchmark baseline.
+
+The ``trace_level`` knob selects the trace backend when no trace is passed:
+``"records"`` (seed :class:`ExecutionTrace`), ``"columnar"`` (flat arrays,
+records materialized on demand) or ``"counts"`` (columnar without per-slot
+reception detail).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Sequence
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from ..exceptions import ProtocolError
-from ..sinr import MAX_CACHED_CHANNEL_NODES, CachedChannel, Channel, Transmission
+from ..sinr import MAX_CACHED_CHANNEL_NODES, CachedChannel, Channel, Reception, Transmission
+from ..sinr.channel import ensure_positive_powers
 from .agent import NodeAgent
-from .trace import ExecutionTrace, SlotRecord
+from .trace import ColumnarTrace, ExecutionTrace, SlotRecord
 
 __all__ = ["Simulator", "spawn_agent_rngs"]
 
@@ -29,13 +49,21 @@ def spawn_agent_rngs(rng: np.random.Generator, count: int) -> list[np.random.Gen
     return [np.random.default_rng(int(seed)) for seed in seeds]
 
 
+_TRACE_LEVELS = ("records", "columnar", "counts")
+
+
 class Simulator:
     """Runs a collection of agents over a shared SINR channel.
 
     Args:
         agents: the per-node protocol agents.
         channel: the SINR channel instance.
-        trace: optional pre-existing trace to append to.
+        trace: optional pre-existing trace to append to (overrides
+            ``trace_level``).
+        trace_level: trace backend to create when ``trace`` is ``None``:
+            ``"records"``, ``"columnar"`` or ``"counts"``.
+        engine: ``"batch"`` (vectorized slot engine) or ``"legacy"`` (seed
+            per-object path).
     """
 
     def __init__(
@@ -43,10 +71,17 @@ class Simulator:
         agents: Sequence[NodeAgent],
         channel: Channel,
         trace: ExecutionTrace | None = None,
+        *,
+        trace_level: str = "records",
+        engine: str = "batch",
     ):
         ids = [agent.node_id for agent in agents]
         if len(ids) != len(set(ids)):
             raise ProtocolError("duplicate node ids among agents")
+        if engine not in ("batch", "legacy"):
+            raise ValueError(f"unknown engine {engine!r}")
+        if trace_level not in _TRACE_LEVELS:
+            raise ValueError(f"unknown trace_level {trace_level!r}, expected one of {_TRACE_LEVELS}")
         self.agents: list[NodeAgent] = list(agents)
         # The agent set is fixed for the simulator's lifetime, so a plain
         # channel is upgraded to one with cached node-to-node distances
@@ -55,16 +90,142 @@ class Simulator:
         if type(channel) is Channel and len(self.agents) <= MAX_CACHED_CHANNEL_NODES:
             channel = CachedChannel(channel.params, [agent.node for agent in self.agents])
         self.channel = channel
-        self.trace = trace if trace is not None else ExecutionTrace()
+        if trace is None:
+            if trace_level == "records":
+                trace = ExecutionTrace()
+            else:
+                trace = ColumnarTrace(reception_detail=(trace_level == "columnar"))
+        self.trace = trace
+        self._engine = engine
         self._slot = 0
+        self._node_ids: list[int] = ids
+        self._pos_by_id: dict[int, int] = {node_id: i for i, node_id in enumerate(ids)}
+        # Hot-loop hoists: the agent set is fixed for the simulator's
+        # lifetime, so bound methods and nodes are captured once instead of
+        # being looked up per agent per slot.
+        self._nodes = [agent.node for agent in self.agents]
+        self._act_batch = [agent.act_batch for agent in self.agents]
+        self._observe = [agent.observe for agent in self.agents]
+        self._listening = np.empty(len(self.agents), dtype=bool)
+        # Index of each agent's node in the channel's distance cache, when the
+        # channel is exactly a CachedChannel covering every agent (a subclass
+        # may override `resolve`, so it must keep going through the object
+        # path).
+        self._cache_idx: np.ndarray | None = None
+        self._full_universe = False
+        if engine == "batch" and type(self.channel) is CachedChannel:
+            try:
+                self._cache_idx = np.array(
+                    [self.channel.cache.index_of_id(node_id) for node_id in ids], dtype=np.intp
+                )
+            except KeyError:
+                self._cache_idx = None
+            else:
+                # Agent position == cache index (the simulator built the
+                # channel itself, or an identical universe was passed): the
+                # decode can run against all columns with a cheap row gather
+                # and mask transmitters afterwards.
+                self._full_universe = len(self.channel.cache) == len(ids) and bool(
+                    np.array_equal(self._cache_idx, np.arange(len(ids)))
+                )
 
     @property
     def current_slot(self) -> int:
         """Index of the next slot to execute."""
         return self._slot
 
-    def step(self, label: str = "") -> SlotRecord:
-        """Execute one slot and return its record."""
+    def step(self, label: str = "") -> SlotRecord | None:
+        """Execute one slot.
+
+        Returns the slot's :class:`SlotRecord` when the trace backend stores
+        records, ``None`` under a columnar trace (which does not materialize
+        per-slot objects).
+        """
+        if self._engine == "legacy":
+            return self._step_legacy(label)
+        return self._step_batch(label)
+
+    # -- batch engine --------------------------------------------------------
+
+    def _step_batch(self, label: str) -> SlotRecord | None:
+        slot = self._slot
+        node_ids = self._node_ids
+        nodes = self._nodes
+        n = len(nodes)
+
+        tx_pos: list[int] = []
+        powers: list[float] = []
+        messages: list[Any] = []
+        listening = self._listening
+        listening[:] = True
+        for i, act_batch in enumerate(self._act_batch):
+            action = act_batch(slot)
+            if action is not None:
+                tx_pos.append(i)
+                powers.append(action[0])
+                messages.append(action[1])
+                listening[i] = False
+
+        receptions: list[Reception | None] = [None] * n
+        pairs: list[tuple[int, int]] = []
+        if tx_pos:
+            # Validate before branching so a non-positive power raises even
+            # in slots with no listeners, exactly like the legacy engine
+            # (where Transmission.__post_init__ runs for every action).
+            power_arr = np.array(powers, dtype=float)
+            ensure_positive_powers(power_arr)
+        if tx_pos and len(tx_pos) < n:
+            if self._full_universe:
+                tx_arr = np.array(tx_pos, dtype=np.intp)
+                best, sinr, ok = self.channel.resolve_indices_full(tx_arr, power_arr)
+                # Half-duplex: transmitter columns never decode.
+                for pos in np.nonzero(ok & listening)[0].tolist():
+                    b = int(best[pos])
+                    src = tx_pos[b]
+                    receptions[pos] = Reception(
+                        sender=nodes[src], message=messages[b], sinr=float(sinr[pos])
+                    )
+                    pairs.append((node_ids[pos], node_ids[src]))
+            elif self._cache_idx is not None:
+                tx_arr = np.array(tx_pos, dtype=np.intp)
+                rx_arr = np.nonzero(listening)[0]
+                best, sinr, ok = self.channel.resolve_indices(
+                    self._cache_idx[tx_arr], self._cache_idx[rx_arr], power_arr
+                )
+                for j in np.nonzero(ok)[0].tolist():
+                    b = int(best[j])
+                    src = tx_pos[b]
+                    pos = int(rx_arr[j])
+                    receptions[pos] = Reception(
+                        sender=nodes[src], message=messages[b], sinr=float(sinr[j])
+                    )
+                    pairs.append((node_ids[pos], node_ids[src]))
+            else:
+                # Custom channel (or agents outside the cache): go through the
+                # node-object protocol so overridden `resolve` semantics hold.
+                transmissions = [
+                    Transmission(sender=nodes[i], power=power, message=message)
+                    for i, power, message in zip(tx_pos, powers, messages)
+                ]
+                listeners = [nodes[i] for i in np.nonzero(listening)[0].tolist()]
+                resolved = self.channel.resolve(transmissions, listeners)
+                for node_id, reception in resolved.items():
+                    pos = self._pos_by_id[node_id]
+                    receptions[pos] = reception
+                    pairs.append((node_id, reception.sender.id))
+
+        for observe, reception in zip(self._observe, receptions):
+            observe(slot, reception)
+
+        record = self.trace.append_slot(
+            slot, [node_ids[i] for i in tx_pos], pairs, label
+        )
+        self._slot += 1
+        return record
+
+    # -- legacy engine (seed path, parity oracle) ----------------------------
+
+    def _step_legacy(self, label: str) -> SlotRecord | None:
         transmissions: list[Transmission] = []
         transmitter_ids: list[int] = []
         listeners = []
@@ -84,13 +245,12 @@ class Simulator:
         for agent in self.agents:
             agent.observe(self._slot, receptions.get(agent.node_id))
 
-        record = SlotRecord(
-            slot=self._slot,
-            transmitters=tuple(transmitter_ids),
-            receptions={listener: rec.sender.id for listener, rec in receptions.items()},
-            label=label,
+        record = self.trace.append_slot(
+            self._slot,
+            transmitter_ids,
+            [(listener, rec.sender.id) for listener, rec in receptions.items()],
+            label,
         )
-        self.trace.record(record)
         self._slot += 1
         return record
 

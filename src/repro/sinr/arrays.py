@@ -374,6 +374,7 @@ class NodeArrayCache:
         self.ids = _freeze(np.array([n.id for n in self.nodes], dtype=np.int64))
         self._index_by_id = {node.id: i for i, node in enumerate(self.nodes)}
         self._distances: np.ndarray | None = None
+        self._attenuation: dict[float, np.ndarray] = {}
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -391,6 +392,23 @@ class NodeArrayCache:
             diff = self.xy[:, None, :] - self.xy[None, :, :]
             self._distances = _freeze(np.hypot(diff[..., 0], diff[..., 1]))
         return self._distances
+
+    def attenuation_matrix(self, alpha: float) -> np.ndarray:
+        """Path-loss denominator ``max(d, 1e-300)**alpha``, computed once per alpha.
+
+        Entries with ``d <= 0`` are stored as ``0.0`` so that dividing a
+        positive power by the matrix yields ``inf`` there - exactly the
+        ``np.where(dist <= 0, np.inf, ...)`` of the uncached decode.  The
+        per-slot SINR decode then needs only a slice and a divide instead of
+        a float ``**alpha`` per entry.
+        """
+        att = self._attenuation.get(alpha)
+        if att is None:
+            dist = self.distance_matrix()
+            att = np.maximum(dist, 1e-300) ** alpha
+            att[dist <= 0] = 0.0
+            self._attenuation[alpha] = _freeze(att)
+        return att
 
 
 class AffectanceAccumulator:

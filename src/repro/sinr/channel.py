@@ -8,6 +8,15 @@ at that node meets the threshold ``beta`` - or nothing.
 The :class:`Channel` is stateless with respect to time; the distributed
 simulator (``repro.runtime``) calls :meth:`Channel.resolve` once per slot and
 is responsible for slot accounting.
+
+Decoding is fully vectorized: one argmax/SINR/threshold pass over the
+transmitter-to-listener matrix resolves every listener at once
+(:func:`decode_arrays`), and :class:`Reception` objects are constructed only
+for the listeners that actually decode something.  The slot-loop hot path can
+skip node-object marshalling entirely via :meth:`Channel.resolve_indices`,
+which works on integer indices into a :class:`~repro.sinr.arrays.NodeArrayCache`.
+The seed per-listener loop is preserved as :func:`decode_reference` so parity
+tests (and benchmarks) can pin the vectorized pass against it bit-for-bit.
 """
 
 from __future__ import annotations
@@ -27,7 +36,22 @@ __all__ = [
     "Channel",
     "CachedChannel",
     "MAX_CACHED_CHANNEL_NODES",
+    "decode_arrays",
+    "decode_reference",
+    "ensure_positive_powers",
 ]
+
+
+def ensure_positive_powers(powers: np.ndarray) -> None:
+    """Batch-path equivalent of the ``Transmission`` power check.
+
+    The index-array engines never build :class:`Transmission` objects, so
+    they validate their power vectors through this single helper instead of
+    each re-implementing ``__post_init__``'s rule.
+    """
+    if np.any(powers <= 0):
+        bad = powers[powers <= 0][0]
+        raise ValueError(f"transmission power must be positive, got {bad}")
 
 
 @dataclass(frozen=True)
@@ -56,6 +80,76 @@ class Reception:
     sender: Node
     message: Any
     sinr: float
+
+
+def decode_arrays(
+    dist: np.ndarray, powers: np.ndarray, params: SINRParameters
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized SINR decode over a transmitter-to-listener distance matrix.
+
+    ``dist[i, j]`` is the distance from transmitter ``i`` to listener ``j``
+    and ``powers[i]`` the power of transmitter ``i``.  Every listener decodes
+    the transmitter with the strongest received signal at its location,
+    provided the SINR against all other signals meets ``params.beta``.
+
+    Returns:
+        ``(best, sinr, ok)``, each of length ``dist.shape[1]``: per listener,
+        the row index of its strongest transmitter, the SINR of that signal
+        (``inf`` when there is no interference and no noise), and whether the
+        SINR clears ``beta``.  The arithmetic is elementwise identical to the
+        seed per-listener loop (:func:`decode_reference`); parity tests pin
+        this bit-for-bit.
+    """
+    with np.errstate(divide="ignore"):
+        received = powers[:, None] / np.maximum(dist, 1e-300) ** params.alpha
+    received = np.where(dist <= 0, np.inf, received)
+    return _decode_received(received, params)
+
+
+def _decode_received(
+    received: np.ndarray, params: SINRParameters
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Decode from the received-signal matrix (see :func:`decode_arrays`)."""
+    total = received.sum(axis=0) + params.noise
+    best = received.argmax(axis=0)
+    best_signal = received[best, np.arange(received.shape[1])]
+    # A colocated transmitter (dist <= 0) makes the received entry infinite;
+    # the seed loop then evaluates inf - inf = nan and decodes nothing, so
+    # the nan must propagate here rather than be replaced.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        interference = total - best_signal
+        ratio = best_signal / interference
+    sinr = np.where(interference <= 0, np.inf, ratio)
+    ok = sinr >= params.beta
+    return best, sinr, ok
+
+
+def decode_reference(
+    transmissions: Sequence[Transmission],
+    active_listeners: Sequence[Node],
+    dist: np.ndarray,
+    powers: np.ndarray,
+    params: SINRParameters,
+) -> dict[int, Reception]:
+    """The seed per-listener decode loop, kept as the parity/benchmark oracle."""
+    with np.errstate(divide="ignore"):
+        received = powers[:, None] / np.maximum(dist, 1e-300) ** params.alpha
+    received = np.where(dist <= 0, np.inf, received)
+
+    total = received.sum(axis=0) + params.noise
+    results: dict[int, Reception] = {}
+    for j, listener in enumerate(active_listeners):
+        signals = received[:, j]
+        best = int(np.argmax(signals))
+        interference = total[j] - signals[best]
+        if interference <= 0:
+            sinr = np.inf
+        else:
+            sinr = float(signals[best] / interference)
+        if sinr >= params.beta:
+            t = transmissions[best]
+            results[listener.id] = Reception(sender=t.sender, message=t.message, sinr=sinr)
+    return results
 
 
 class Channel:
@@ -123,24 +217,81 @@ class Channel:
         powers: np.ndarray,
     ) -> dict[int, Reception]:
         """Resolve receptions from a transmitter-to-listener distance matrix."""
-        with np.errstate(divide="ignore"):
-            received = powers[:, None] / np.maximum(dist, 1e-300) ** self.params.alpha
-        received = np.where(dist <= 0, np.inf, received)
-
-        total = received.sum(axis=0) + self.params.noise
+        best, sinr, ok = decode_arrays(dist, powers, self.params)
         results: dict[int, Reception] = {}
-        for j, listener in enumerate(active_listeners):
-            signals = received[:, j]
-            best = int(np.argmax(signals))
-            interference = total[j] - signals[best]
-            if interference <= 0:
-                sinr = np.inf
-            else:
-                sinr = float(signals[best] / interference)
-            if sinr >= self.params.beta:
-                t = transmissions[best]
-                results[listener.id] = Reception(sender=t.sender, message=t.message, sinr=sinr)
+        for j in np.nonzero(ok)[0]:
+            t = transmissions[int(best[j])]
+            results[active_listeners[j].id] = Reception(
+                sender=t.sender, message=t.message, sinr=float(sinr[j])
+            )
         return results
+
+    def resolve_indices(
+        self,
+        tx_indices: np.ndarray,
+        rx_indices: np.ndarray,
+        powers: np.ndarray,
+        cache: NodeArrayCache,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Index-array fast path of :meth:`resolve` against a node cache.
+
+        Skips all node-object marshalling: transmitters and listeners are
+        integer indices into ``cache`` and powers a plain float vector.
+
+        Unlike :meth:`resolve`, the caller owns the protocol invariants: the
+        transmitter indices must be distinct, the listener indices must not
+        contain a transmitting node (half-duplex), and powers must be
+        positive.  The slot engines that call this enforce all three by
+        construction.
+
+        Returns:
+            ``(best, sinr, ok)`` aligned to ``rx_indices``; ``best`` holds
+            positions into ``tx_indices`` (see :func:`decode_arrays`).
+        """
+        tx = np.asarray(tx_indices, dtype=np.intp)
+        rx = np.asarray(rx_indices, dtype=np.intp)
+        if tx.size == 0 or rx.size == 0:
+            return (
+                np.zeros(rx.size, dtype=np.intp),
+                np.zeros(rx.size, dtype=float),
+                np.zeros(rx.size, dtype=bool),
+            )
+        # The cache stores max(d, 1e-300)**alpha with colocated pairs zeroed,
+        # so the slice-and-divide below reproduces the uncached
+        # `np.where(dist <= 0, inf, powers / max(dist, 1e-300)**alpha)`
+        # bit-for-bit without a float power per slot.
+        attenuation = cache.attenuation_matrix(self.params.alpha)[np.ix_(tx, rx)]
+        with np.errstate(divide="ignore"):
+            received = np.asarray(powers, dtype=float)[:, None] / attenuation
+        return _decode_received(received, self.params)
+
+    def resolve_indices_full(
+        self,
+        tx_indices: np.ndarray,
+        powers: np.ndarray,
+        cache: NodeArrayCache,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """:meth:`resolve_indices` with the *whole universe* as listeners.
+
+        Returns ``(best, sinr, ok)`` with one column per cache node.  Each
+        column's decode depends only on the transmitter rows, so listener
+        columns are elementwise identical to a :meth:`resolve_indices` call
+        on any listener subset - but the full-row gather here is much
+        cheaper than a two-dimensional fancy slice.  Columns belonging to
+        transmitting nodes are *not* masked; the caller applies half-duplex
+        by ignoring them.
+        """
+        tx = np.asarray(tx_indices, dtype=np.intp)
+        if tx.size == 0 or len(cache) == 0:
+            return (
+                np.zeros(len(cache), dtype=np.intp),
+                np.zeros(len(cache), dtype=float),
+                np.zeros(len(cache), dtype=bool),
+            )
+        attenuation = cache.attenuation_matrix(self.params.alpha)[tx]
+        with np.errstate(divide="ignore"):
+            received = np.asarray(powers, dtype=float)[:, None] / attenuation
+        return _decode_received(received, self.params)
 
     def link_succeeds(
         self,
@@ -170,15 +321,26 @@ class Channel:
         if distance <= 0:
             return False
         signal = sender_power / distance**self.params.alpha
-        interference = sum(
-            power / max(node.distance_to(receiver), 1e-300) ** self.params.alpha
-            for node, power in others
-        )
+        if others:
+            powers = np.array([power for _, power in others], dtype=float)
+            dist = self._distances_to_node(receiver, [node for node, _ in others])
+            interference = float(
+                (powers / np.maximum(dist, 1e-300) ** self.params.alpha).sum()
+            )
+        else:
+            interference = 0.0
         return signal / (self.params.noise + interference) >= self.params.beta
 
+    def _distances_to_node(self, receiver: Node, nodes: Sequence[Node]) -> np.ndarray:
+        """Distances from each of ``nodes`` to ``receiver`` (overridden by caches)."""
+        xy = np.array([[n.x, n.y] for n in nodes], dtype=float)
+        return np.hypot(xy[:, 0] - receiver.x, xy[:, 1] - receiver.y)
 
-# Node count above which the O(n^2) cached distance matrix is not worth its
-# memory (8 bytes * n^2; 2048 nodes ~ 33 MB).  Upgrade sites consult this.
+
+# Node count above which the O(n^2) cached matrices are not worth their
+# memory (8 bytes * n^2 each for the distance matrix plus one attenuation
+# matrix per alpha queried; 2048 nodes ~ 33 MB per matrix, typically ~66 MB
+# total).  Upgrade sites consult this.
 MAX_CACHED_CHANNEL_NODES = 2048
 
 
@@ -215,3 +377,34 @@ class CachedChannel(Channel):
         except KeyError:
             return super()._distances(transmissions, active_listeners)
         return self.cache.distance_matrix()[np.ix_(tx_idx, rx_idx)]
+
+    def resolve_indices(
+        self,
+        tx_indices: np.ndarray,
+        rx_indices: np.ndarray,
+        powers: np.ndarray,
+        cache: NodeArrayCache | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Index-array fast path; indices address this channel's own cache."""
+        return super().resolve_indices(
+            tx_indices, rx_indices, powers, self.cache if cache is None else cache
+        )
+
+    def resolve_indices_full(
+        self,
+        tx_indices: np.ndarray,
+        powers: np.ndarray,
+        cache: NodeArrayCache | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Whole-universe fast path; indices address this channel's own cache."""
+        return super().resolve_indices_full(
+            tx_indices, powers, self.cache if cache is None else cache
+        )
+
+    def _distances_to_node(self, receiver: Node, nodes: Sequence[Node]) -> np.ndarray:
+        try:
+            rx = self.cache.index_of_id(receiver.id)
+            idx = np.array([self.cache.index_of_id(n.id) for n in nodes], dtype=np.intp)
+        except KeyError:
+            return super()._distances_to_node(receiver, nodes)
+        return self.cache.distance_matrix()[idx, rx]

@@ -1,0 +1,64 @@
+"""Tests for the parallel experiment runner (repro.experiments.parallel).
+
+The workers>1 path must produce bit-identical results to the sequential
+path: trials are deterministically seeded from their own arguments, and
+``map_trials`` preserves sweep order.  These tests exercise the real
+``ProcessPoolExecutor`` branch (pickling of the config, the trial functions
+and the returned rows included).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ExperimentConfig, default_workers, map_trials
+from repro.experiments import e1_init, f3_uniform_lower_bound
+
+
+def _square(args: tuple[int, int]) -> int:
+    """Module-level (picklable) trial function."""
+    base, offset = args
+    return base * base + offset
+
+
+class TestMapTrials:
+    def test_sequential_default(self):
+        assert map_trials(_square, [(1, 0), (2, 1), (3, 2)]) == [1, 5, 11]
+
+    def test_process_pool_preserves_order(self):
+        args = [(i, i % 3) for i in range(10)]
+        sequential = map_trials(_square, args, workers=1)
+        parallel = map_trials(_square, args, workers=2)
+        assert parallel == sequential
+
+    def test_single_trial_stays_in_process(self):
+        # len(trials) <= 1 short-circuits to the sequential loop even with
+        # workers > 1 (a closure would not be picklable, proving the branch).
+        result = map_trials(lambda args: args * 2, [21], workers=4)
+        assert result == [42]
+
+    def test_negative_workers_uses_default(self):
+        assert default_workers() >= 1
+        args = [(i, 0) for i in range(4)]
+        assert map_trials(_square, args, workers=-1) == [0, 1, 4, 9]
+
+    def test_empty_trials(self):
+        assert map_trials(_square, [], workers=4) == []
+
+
+class TestExperimentWorkers:
+    @pytest.fixture(scope="class")
+    def tiny_config(self) -> ExperimentConfig:
+        return ExperimentConfig(sizes=(8, 12), delta_targets=(1.0e2,), seeds=(1,))
+
+    def test_e1_workers_bit_identical(self, tiny_config):
+        sequential = e1_init.run(tiny_config)
+        parallel = e1_init.run(tiny_config.with_overrides(workers=2))
+        assert parallel.rows == sequential.rows
+        assert parallel.summary == sequential.summary
+
+    def test_f3_workers_bit_identical(self, tiny_config):
+        sequential = f3_uniform_lower_bound.run(tiny_config)
+        parallel = f3_uniform_lower_bound.run(tiny_config.with_overrides(workers=2))
+        assert parallel.rows == sequential.rows
+        assert parallel.summary == sequential.summary
