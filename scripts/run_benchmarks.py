@@ -10,9 +10,10 @@ the repo; CI runs the micro-benchmarks non-blockingly and uploads the fresh
 JSON as an artifact for comparison.
 
 Usage:
-    python scripts/run_benchmarks.py                         # full suite
+    python scripts/run_benchmarks.py                         # full suite -> BENCH_PR3.json
     python scripts/run_benchmarks.py --select "micro or slot_engine"
-    python scripts/run_benchmarks.py --output BENCH_PR2.json
+    python scripts/run_benchmarks.py --tag PR4               # -> BENCH_PR4.json
+    python scripts/run_benchmarks.py --output /tmp/bench.json
 """
 
 from __future__ import annotations
@@ -28,6 +29,9 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Tag of the baseline currently being grown; bump per perf-relevant PR.
+DEFAULT_TAG = "PR3"
 
 
 def machine_info() -> dict:
@@ -82,10 +86,15 @@ def summarize(raw_json: Path) -> list[dict]:
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
+        "--tag",
+        default=None,
+        help=f"baseline tag; writes BENCH_<TAG>.json at the repo root (default: {DEFAULT_TAG})",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR2.json",
-        help="baseline file to write (default: BENCH_PR2.json at the repo root)",
+        default=None,
+        help="explicit baseline file to write (overrides --tag)",
     )
     parser.add_argument(
         "--select",
@@ -93,6 +102,12 @@ def main(argv: list[str] | None = None) -> int:
         help="pytest -k expression selecting a benchmark subset (e.g. 'micro')",
     )
     args = parser.parse_args(argv)
+    # An explicit --tag is always honored in the JSON; otherwise the default
+    # tag names the file, and a --output-only run stays untagged so tooling
+    # comparing baselines by tag never conflates it with a curated baseline.
+    if args.output is None:
+        args.tag = args.tag or DEFAULT_TAG
+        args.output = REPO_ROOT / f"BENCH_{args.tag}.json"
 
     with tempfile.TemporaryDirectory() as tmp:
         raw_json = Path(tmp) / "pytest-benchmark.json"
@@ -104,6 +119,7 @@ def main(argv: list[str] | None = None) -> int:
 
     baseline = {
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "tag": args.tag,
         "select": args.select,
         "machine": machine_info(),
         "benchmarks": benchmarks,

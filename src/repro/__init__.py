@@ -96,15 +96,24 @@ __all__ = [
     "InitialTreeResult",
     "ConnectivityProtocol",
     "TreeViaCapacity",
+    # dynamics (resolved lazily below)
+    "DynamicScenario",
+    "DynamicSimulator",
+    "ChurnProcess",
+    "RandomWalk",
+    "RandomWaypoint",
+    "LogNormalShadowing",
+    "RayleighFading",
+    "DeterministicPathLoss",
 ]
 
 
 def __getattr__(name: str):
-    """Lazily re-export the core protocol classes.
+    """Lazily re-export the core protocol and dynamics classes.
 
-    The core package imports the substrate packages; importing it eagerly here
-    would create a cycle during package initialization, so the headline
-    classes are resolved on first access instead.
+    The core and dynamics packages import the substrate packages; importing
+    them eagerly here would create a cycle during package initialization, so
+    the headline classes are resolved on first access instead.
     """
     core_exports = {
         "BiTree",
@@ -114,8 +123,22 @@ def __getattr__(name: str):
         "ConnectivityProtocol",
         "TreeViaCapacity",
     }
+    dynamics_exports = {
+        "DynamicScenario",
+        "DynamicSimulator",
+        "ChurnProcess",
+        "RandomWalk",
+        "RandomWaypoint",
+        "LogNormalShadowing",
+        "RayleighFading",
+        "DeterministicPathLoss",
+    }
     if name in core_exports:
         from . import core
 
         return getattr(core, name)
+    if name in dynamics_exports:
+        from . import dynamics
+
+        return getattr(dynamics, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

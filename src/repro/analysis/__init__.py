@@ -18,7 +18,12 @@ from .metrics import (
     schedule_statistics,
     tree_sparsity,
 )
-from .reporting import format_markdown_table, format_table, format_value
+from .reporting import (
+    dynamics_health_table,
+    format_markdown_table,
+    format_table,
+    format_value,
+)
 from .validation import ValidationReport, validate_bitree, validate_connectivity_solution
 
 __all__ = [
@@ -39,6 +44,7 @@ __all__ = [
     "format_table",
     "format_markdown_table",
     "format_value",
+    "dynamics_health_table",
     "ValidationReport",
     "validate_bitree",
     "validate_connectivity_solution",

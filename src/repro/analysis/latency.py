@@ -109,7 +109,7 @@ def simulate_convergecast(
             for link in group
         ]
         listeners = [link.receiver for link in group]
-        receptions = channel.resolve(transmissions, listeners)
+        receptions = channel.resolve(transmissions, listeners, slot=slots - 1)
         for link in group:
             reception = receptions.get(link.receiver.id)
             if reception is None or reception.sender.id != link.sender.id:
@@ -157,7 +157,7 @@ def simulate_broadcast(
             for link in senders.values()
         ]
         listeners = [link.receiver for link in group]
-        receptions = channel.resolve(transmissions, listeners)
+        receptions = channel.resolve(transmissions, listeners, slot=slots - 1)
         for link in group:
             reception = receptions.get(link.receiver.id)
             if reception is not None and reception.sender.id == link.sender.id and link.sender.id in informed:

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Mapping, Sequence
 
-__all__ = ["format_table", "format_markdown_table", "format_value"]
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "format_value",
+    "dynamics_health_table",
+]
 
 
 def format_value(value: Any) -> str:
@@ -60,6 +65,32 @@ def format_table(
     for row in body:
         lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
     return "\n".join(lines)
+
+
+def dynamics_health_table(records: Iterable[Any], title: str | None = None) -> str:
+    """Aligned table over the epoch records of a dynamic run.
+
+    Takes the ``EpochRecord`` sequence of a
+    :class:`repro.dynamics.DynamicRunResult` (duck-typed, so the analysis
+    layer stays import-independent of the dynamics subsystem) and renders the
+    per-epoch health: population, movement, churn, repair cost, schedule
+    feasibility, physical delivery rate, and connectivity.
+    """
+    rows = [
+        {
+            "epoch": record.epoch,
+            "nodes": record.n_nodes,
+            "moved": record.moved,
+            "failed": len(record.failed),
+            "arrived": len(record.arrived),
+            "repair_slots": record.repair_slots,
+            "feasible": f"{record.feasible_fraction:.0%}",
+            "delivered": f"{record.link_success_rate:.0%}",
+            "connected": record.strongly_connected,
+        }
+        for record in records
+    ]
+    return format_table(rows, title=title)
 
 
 def format_markdown_table(

@@ -105,6 +105,15 @@ class BiTree:
         reversed_slots = self.aggregation_schedule.reversed()
         return Schedule({link.dual: slot for link, slot in reversed_slots.items()})
 
+    def slot_stamps(self) -> dict[int, int]:
+        """Per-child slot stamp of its outgoing (child -> parent) link.
+
+        Each non-root node has exactly one outgoing aggregation link, so the
+        schedule is equivalently a map keyed by the child id; repair and the
+        dynamics driver rebuild trees from this form.
+        """
+        return {link.sender.id: slot for link, slot in self.aggregation_schedule.items()}
+
     def children(self, node_id: int) -> list[int]:
         """Ids of the children of ``node_id``."""
         return sorted(child for child, parent in self.parent.items() if parent == node_id)

@@ -189,12 +189,15 @@ class DistributedScheduler:
             attempts = self._choose_attempts(contenders)
             if not attempts:
                 continue
+            # Frames are slot pairs: data at 2*(frame-1), ack right after
+            # (slot-dependent gain models draw fresh fades per physical slot).
+            first_slot = 2 * (frames - 1)
             if sender_idx is not None:
                 successful = self._run_frame_indices(
-                    attempts, channel, sender_idx, receiver_idx, power_arr
+                    attempts, channel, sender_idx, receiver_idx, power_arr, first_slot
                 )
             else:
-                successful = self._run_frame(attempts, channel)
+                successful = self._run_frame(attempts, channel, first_slot)
             for contender in attempts:
                 if contender in successful:
                     contender.scheduled_frame = frames - 1
@@ -245,6 +248,7 @@ class DistributedScheduler:
         sender_idx: np.ndarray,
         receiver_idx: np.ndarray,
         power_arr: np.ndarray,
+        first_slot: int = 0,
     ) -> set[_LinkContender]:
         """Index-array frame resolution (same outcome as :meth:`_run_frame`).
 
@@ -264,7 +268,7 @@ class DistributedScheduler:
         # Data slot: all attempt senders transmit; receivers that are
         # themselves transmitting are busy and cannot listen.
         listening = np.nonzero(~np.isin(rx, tx))[0]
-        best, _, ok = channel.resolve_indices(tx, rx[listening], pw)
+        best, _, ok = channel.resolve_indices(tx, rx[listening], pw, slot=first_slot)
         data_ok = listening[ok & (best == listening)]
         if data_ok.size == 0:
             return set()
@@ -277,7 +281,9 @@ class DistributedScheduler:
         ack_tx = rx[data_ok]
         ack_rx = tx[data_ok]
         ack_listening = np.nonzero(~np.isin(ack_rx, ack_tx))[0]
-        ack_best, _, ack_ok = channel.resolve_indices(ack_tx, ack_rx[ack_listening], pw[data_ok])
+        ack_best, _, ack_ok = channel.resolve_indices(
+            ack_tx, ack_rx[ack_listening], pw[data_ok], slot=first_slot + 1
+        )
         final = data_ok[ack_listening[ack_ok & (ack_best == ack_listening)]]
         return {attempts[int(i)] for i in final}
 
@@ -285,6 +291,7 @@ class DistributedScheduler:
         self,
         attempts: Sequence[_LinkContender],
         channel: Channel,
+        first_slot: int = 0,
     ) -> set[_LinkContender]:
         """Run the data + acknowledgment slots; return the fully successful links."""
         # Data slot: senders transmit, everybody else listens.
@@ -293,7 +300,7 @@ class DistributedScheduler:
             for c in attempts
         ]
         receivers = [c.link.receiver for c in attempts]
-        data_receptions = channel.resolve(data_transmissions, receivers)
+        data_receptions = channel.resolve(data_transmissions, receivers, slot=first_slot)
         data_ok = [
             c
             for c in attempts
@@ -309,7 +316,7 @@ class DistributedScheduler:
             for c in data_ok
         ]
         ack_listeners = [c.link.sender for c in data_ok]
-        ack_receptions = channel.resolve(ack_transmissions, ack_listeners)
+        ack_receptions = channel.resolve(ack_transmissions, ack_listeners, slot=first_slot + 1)
         return {
             c
             for c in data_ok

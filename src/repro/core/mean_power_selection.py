@@ -121,10 +121,11 @@ class MeanPowerSelector:
         slots_used = 0
         for attempt in range(1, max_attempts + 1):
             sampled = [link for link in link_list if rng.random() < probability]
+            first_slot = slots_used  # data/ack slot indices for fading models
             slots_used += 2
             if not sampled:
                 continue
-            selected = self._run_slot_pair(sampled, power, channel)
+            selected = self._run_slot_pair(sampled, power, channel, first_slot)
             if selected:
                 return MeanPowerSelectionResult(
                     selected=LinkSet(selected),
@@ -138,7 +139,11 @@ class MeanPowerSelector:
     # -- internals ----------------------------------------------------------
 
     def _run_slot_pair(
-        self, sampled: Sequence[Link], power: PowerAssignment, channel: Channel
+        self,
+        sampled: Sequence[Link],
+        power: PowerAssignment,
+        channel: Channel,
+        first_slot: int = 0,
     ) -> list[Link]:
         """Data + acknowledgment slot for the sampled links; return the winners."""
         by_sender: dict[int, Link] = {}
@@ -151,7 +156,9 @@ class MeanPowerSelector:
             Transmission(sender=link.sender, power=power.power(link), message=link)
             for link in attempts
         ]
-        data_receptions = channel.resolve(data_transmissions, [link.receiver for link in attempts])
+        data_receptions = channel.resolve(
+            data_transmissions, [link.receiver for link in attempts], slot=first_slot
+        )
         data_ok = [
             link
             for link in attempts
@@ -164,7 +171,9 @@ class MeanPowerSelector:
             Transmission(sender=link.receiver, power=power.power(link), message=link)
             for link in data_ok
         ]
-        ack_receptions = channel.resolve(ack_transmissions, [link.sender for link in data_ok])
+        ack_receptions = channel.resolve(
+            ack_transmissions, [link.sender for link in data_ok], slot=first_slot + 1
+        )
         return [
             link
             for link in data_ok

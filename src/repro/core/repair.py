@@ -1,4 +1,4 @@
-"""Tree repair after node failures (the paper's "dynamic situations" extension).
+"""Tree repair under churn (the paper's "dynamic situations" extension).
 
 The paper's conclusion lists node failures as the natural next step.  This
 module implements the straightforward repair protocol the machinery already
@@ -6,7 +6,10 @@ supports: when a set of nodes dies, every surviving subtree that lost its
 path to the root re-attaches by running ``Init`` again - but only among the
 *orphaned subtree roots* (plus the surviving root), so the repair cost scales
 with the damage, ``O(log Delta * log k)`` slots for ``k`` affected subtrees,
-not with the network size.
+not with the network size.  :meth:`TreeRepairer.integrate` generalizes the
+same splice to node *arrivals*: newly deployed nodes join the ``Init`` re-run
+as additional orphans and attach to the tree in the same patch, which is what
+the churn scenarios of ``repro.dynamics`` run every epoch.
 
 The repaired structure is again a strongly connected spanning tree of the
 survivors and every newly added slot group is feasible under the recorded
@@ -26,6 +29,7 @@ import numpy as np
 
 from ..constants import DEFAULT_CONSTANTS, AlgorithmConstants
 from ..exceptions import ProtocolError
+from ..geometry import Node
 from ..sinr import ExplicitPower, SINRParameters
 from .bitree import BiTree
 from .init_tree import InitialTreeBuilder
@@ -36,7 +40,7 @@ __all__ = ["RepairResult", "TreeRepairer"]
 
 @dataclass(frozen=True)
 class RepairResult:
-    """Outcome of repairing a bi-tree after node failures.
+    """Outcome of repairing a bi-tree after node failures and/or arrivals.
 
     Attributes:
         tree: the repaired spanning bi-tree over the surviving nodes.
@@ -44,6 +48,7 @@ class RepairResult:
         slots_used: channel slots spent by the repair protocol.
         failed: ids of the nodes that were removed.
         reattached: ids of the orphaned subtree roots that re-attached.
+        arrived: ids of newly joined nodes attached by the same patch.
         root_changed: whether the repair elected a new root.
     """
 
@@ -53,6 +58,7 @@ class RepairResult:
     failed: frozenset[int]
     reattached: frozenset[int]
     root_changed: bool
+    arrived: frozenset[int] = frozenset()
 
 
 class TreeRepairer:
@@ -90,12 +96,48 @@ class TreeRepairer:
         Raises:
             ProtocolError: if every node failed, or a failed id is unknown.
         """
+        return self.integrate(tree, power, failed_ids=failed_ids, rng=rng)
+
+    def integrate(
+        self,
+        tree: BiTree,
+        power: ExplicitPower,
+        *,
+        failed_ids: Iterable[int] = (),
+        arrivals: Iterable[Node] = (),
+        rng: np.random.Generator,
+    ) -> RepairResult:
+        """Apply one churn event: remove failures, attach arrivals, re-splice.
+
+        Failures orphan every surviving subtree that lost its path to the
+        root; arrivals are brand-new nodes with no tree links at all.  Both
+        kinds of loose ends join a single ``Init`` re-run (together with the
+        surviving root, if any) whose patch tree is spliced into the
+        remaining structure - so one channel-slot budget covers the whole
+        event and still scales with the damage, not the network size.
+
+        Args:
+            tree: the existing bi-tree.
+            power: recorded per-link powers; surviving links reuse them.
+            failed_ids: ids of nodes that failed (may be empty).
+            arrivals: newly deployed nodes to attach (may be empty).  Their
+                ids must be distinct from every current tree node's id.
+            rng: source of randomness for the ``Init`` re-run.
+
+        Raises:
+            ProtocolError: if nothing is left to span, a failed id is
+                unknown, or an arrival id collides with an existing node.
+        """
         failed = frozenset(int(node_id) for node_id in failed_ids)
         unknown = failed - set(tree.nodes)
         if unknown:
             raise ProtocolError(f"unknown node ids in failure set: {sorted(unknown)[:5]}")
+        arriving = {node.id: node for node in arrivals}
+        clashes = set(arriving) & set(tree.nodes)
+        if clashes:
+            raise ProtocolError(f"arrival ids already present: {sorted(clashes)[:5]}")
         survivors = {node_id: node for node_id, node in tree.nodes.items() if node_id not in failed}
-        if not survivors:
+        if not survivors and not arriving:
             raise ProtocolError("all nodes failed; nothing to repair")
 
         # Surviving parent pointers, dropping every link that touches a failure.
@@ -104,28 +146,38 @@ class TreeRepairer:
             for child, parent_id in tree.parent.items()
             if child not in failed and parent_id not in failed
         }
-        slots = {
-            child: tree.aggregation_schedule.slot_of(
-                next(l for l in tree.aggregation_links() if l.endpoint_ids == (child, parent_id))
-            )
-            for child, parent_id in parent.items()
-        }
+        # One O(E) pass over the schedule; this runs per churn epoch in the
+        # dynamics driver.
+        stamp_by_child = tree.slot_stamps()
+        slots = {child: stamp_by_child[child] for child in parent}
 
         # Orphaned subtree roots: survivors with no surviving parent pointer
-        # that are not the (surviving) old root.
-        old_root_alive = tree.root_id not in failed
+        # that are not the (surviving) old root.  Arrivals are orphans by
+        # construction - they have no links yet.
+        old_root_alive = tree.root_id in survivors
         orphans = [
             node_id
             for node_id in survivors
             if node_id not in parent and not (old_root_alive and node_id == tree.root_id)
         ]
 
-        power_map = dict(power.as_dict())
-        if not orphans:
-            repaired = BiTree.from_parent_map(list(survivors.values()), tree.root_id, parent, slots)
+        spanned = list(survivors.values()) + list(arriving.values())
+        # Flatten the power lookup: merge any chained ExplicitPower layers
+        # into one map (dropping entries that touch a failed node) over the
+        # base oblivious fallback, so per-epoch churn repairs never grow an
+        # unbounded fallback chain.
+        power_map, base_fallback = power.flattened()
+        if failed:
+            power_map = {
+                key: value
+                for key, value in power_map.items()
+                if key[0] not in failed and key[1] not in failed
+            }
+        if not orphans and not arriving:
+            repaired = BiTree.from_parent_map(spanned, tree.root_id, parent, slots)
             return RepairResult(
                 tree=repaired,
-                power=ExplicitPower(power_map, fallback=power),
+                power=ExplicitPower(power_map, fallback=base_fallback),
                 slots_used=0,
                 failed=failed,
                 reattached=frozenset(),
@@ -133,14 +185,16 @@ class TreeRepairer:
             )
 
         participants = [survivors[node_id] for node_id in orphans]
+        participants.extend(arriving.values())
         if old_root_alive:
             participants.append(survivors[tree.root_id])
 
         builder = InitialTreeBuilder(self.params, self.constants)
         patch = builder.build(participants, rng)
 
-        # Splice the patch: its links re-attach orphan subtree roots; stamps
-        # are shifted past the existing schedule so they occupy fresh slots.
+        # Splice the patch: its links re-attach orphan subtree roots (and
+        # hook up arrivals); stamps are shifted past the existing schedule so
+        # they occupy fresh slots.
         offset = tree.aggregation_schedule.span + 1
         for link, slot in patch.tree.aggregation_schedule.items():
             parent[link.sender.id] = link.receiver.id
@@ -155,12 +209,13 @@ class TreeRepairer:
             global_root = tree.root_id
         else:
             global_root = patch.tree.root_id
-        repaired = BiTree.from_parent_map(list(survivors.values()), global_root, parent, slots)
+        repaired = BiTree.from_parent_map(spanned, global_root, parent, slots)
         return RepairResult(
             tree=repaired,
-            power=ExplicitPower(power_map, fallback=power),
+            power=ExplicitPower(power_map, fallback=base_fallback),
             slots_used=patch.slots_used,
             failed=failed,
             reattached=frozenset(orphans),
             root_changed=global_root != tree.root_id,
+            arrived=frozenset(arriving),
         )

@@ -1,0 +1,143 @@
+"""Churn processes: seeded streams of node failures and arrivals.
+
+A :class:`ChurnProcess` turns "dynamic situations" (the paper's conclusion)
+into a reproducible event stream: for every epoch it derives a private
+generator from ``(seed, epoch)``, so the same configuration replays the same
+failures and arrivals regardless of how many epochs were evaluated before,
+in which order, or in which worker process.  The
+:class:`~repro.dynamics.simulator.DynamicSimulator` feeds each event into
+:meth:`repro.core.repair.TreeRepairer.integrate`, which removes the failed
+nodes and attaches the arrivals with a single incremental ``Init`` patch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import ConfigurationError
+from ..geometry import Node, Point, Rectangle
+from .mobility import bounding_rectangle
+
+__all__ = ["ChurnEvent", "ChurnProcess"]
+
+# Domain-separation tag for the churn RNG stream.
+_CHURN_STREAM = 0x434855524E
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One epoch's worth of churn.
+
+    Attributes:
+        epoch: the epoch index the event belongs to.
+        failed: ids of the nodes that fail at this epoch.
+        arrivals: freshly deployed nodes joining at this epoch.
+    """
+
+    epoch: int
+    failed: tuple[int, ...]
+    arrivals: tuple[Node, ...]
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the epoch passes without any topology change."""
+        return not self.failed and not self.arrivals
+
+
+class ChurnProcess:
+    """Seeded per-epoch failure/arrival stream.
+
+    Args:
+        failure_prob: probability that each alive node fails in a given
+            epoch.  At least one node always survives an event (if the draw
+            would kill everyone, one victim is spared at random).
+        arrival_rate: expected number of new nodes per epoch (Poisson).
+            Arrivals are placed uniformly in ``region`` (default: the
+            expanded bounding box of the current nodes) at least
+            ``min_separation`` away from everyone; placements that cannot be
+            separated are dropped for that epoch.
+        seed: stream seed; events are pure functions of ``(seed, epoch)``.
+        region: deployment region for arrivals.
+        min_separation: lower bound on pairwise distances for arrivals (the
+            paper normalizes this to 1).
+        protected_ids: node ids that never fail (e.g. a sink).
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_prob: float = 0.05,
+        arrival_rate: float = 0.0,
+        seed: int = 0,
+        region: Rectangle | None = None,
+        min_separation: float = 1.0,
+        protected_ids: Sequence[int] = (),
+    ):
+        if not 0.0 <= failure_prob <= 1.0:
+            raise ConfigurationError(f"failure_prob must be in [0, 1], got {failure_prob}")
+        if arrival_rate < 0.0:
+            raise ConfigurationError(f"arrival_rate must be non-negative, got {arrival_rate}")
+        if min_separation <= 0.0:
+            raise ConfigurationError(f"min_separation must be positive, got {min_separation}")
+        self.failure_prob = failure_prob
+        self.arrival_rate = arrival_rate
+        self.seed = seed
+        self.region = region
+        self.min_separation = min_separation
+        self.protected_ids = frozenset(int(i) for i in protected_ids)
+
+    def _epoch_rng(self, epoch: int) -> np.random.Generator:
+        return np.random.default_rng([_CHURN_STREAM, self.seed, int(epoch)])
+
+    def events_for(
+        self, epoch: int, nodes: Sequence[Node], next_id: int
+    ) -> ChurnEvent:
+        """The churn event for ``epoch`` given the currently alive nodes.
+
+        Args:
+            epoch: epoch index (part of the event's random identity).
+            nodes: currently alive nodes.
+            next_id: smallest id to assign to an arrival this epoch.
+        """
+        rng = self._epoch_rng(epoch)
+        failed: list[int] = []
+        if nodes and self.failure_prob > 0.0:
+            draws = rng.random(len(nodes))
+            candidates = [
+                node.id
+                for node, draw in zip(nodes, draws)
+                if draw < self.failure_prob and node.id not in self.protected_ids
+            ]
+            if len(candidates) >= len(nodes):
+                spared = int(rng.integers(0, len(candidates)))
+                candidates = candidates[:spared] + candidates[spared + 1 :]
+            failed = candidates
+
+        arrivals: list[Node] = []
+        if self.arrival_rate > 0.0:
+            count = int(rng.poisson(self.arrival_rate))
+            if count:
+                region = self.region
+                if region is None:
+                    xy = np.array([[n.x, n.y] for n in nodes], dtype=float).reshape(-1, 2)
+                    region = bounding_rectangle(xy)
+                failed_set = set(failed)
+                surviving_xy = [(n.x, n.y) for n in nodes if n.id not in failed_set]
+                placed: list[tuple[float, float]] = list(surviving_xy)
+                for k in range(count):
+                    for _ in range(32):  # rejection-sample a separated spot
+                        x = float(rng.uniform(region.x_min, region.x_max))
+                        y = float(rng.uniform(region.y_min, region.y_max))
+                        if all(
+                            (x - px) ** 2 + (y - py) ** 2 >= self.min_separation**2
+                            for px, py in placed
+                        ):
+                            placed.append((x, y))
+                            arrivals.append(
+                                Node(id=next_id + len(arrivals), position=Point(x, y))
+                            )
+                            break
+        return ChurnEvent(epoch=int(epoch), failed=tuple(failed), arrivals=tuple(arrivals))

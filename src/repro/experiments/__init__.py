@@ -10,6 +10,9 @@ from . import (
     e7_tm_subset,
     e8_latency,
     e9_capacity,
+    e10_fading,
+    e11_mobility,
+    e12_churn,
     f1_comparison,
     f2_delta,
     f3_uniform_lower_bound,
@@ -28,6 +31,9 @@ ALL_EXPERIMENTS = {
     "E7": e7_tm_subset.run,
     "E8": e8_latency.run,
     "E9": e9_capacity.run,
+    "E10": e10_fading.run,
+    "E11": e11_mobility.run,
+    "E12": e12_churn.run,
     "F1": f1_comparison.run,
     "F2": f2_delta.run,
     "F3": f3_uniform_lower_bound.run,

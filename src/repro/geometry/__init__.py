@@ -21,7 +21,7 @@ from .point import (
     min_pairwise_distance,
     points_to_array,
 )
-from .region import Disc, Rectangle, Region
+from .region import Disc, Rectangle, Region, bounding_rectangle
 from .spatial_index import GridIndex
 
 __all__ = [
@@ -30,6 +30,7 @@ __all__ = [
     "Region",
     "Rectangle",
     "Disc",
+    "bounding_rectangle",
     "GridIndex",
     "distance",
     "distance_matrix",

@@ -1,13 +1,15 @@
-"""Simple planar regions used by deployment generators and sparsity checks."""
+"""Simple planar regions used by deployments, sparsity checks and mobility."""
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
+import numpy as np
+
 from .point import Point
 
-__all__ = ["Region", "Rectangle", "Disc"]
+__all__ = ["Region", "Rectangle", "Disc", "bounding_rectangle"]
 
 
 class Region(ABC):
@@ -90,3 +92,20 @@ class Disc(Region):
             self.center.x + self.radius,
             self.center.y + self.radius,
         )
+
+
+def bounding_rectangle(xy: np.ndarray, margin_fraction: float = 0.25) -> Rectangle:
+    """Axis-aligned bounds of a coordinate array, expanded by a margin.
+
+    Used by the mobility models (``repro.dynamics``) to confine movement: the
+    margin keeps boundary nodes from being pinned against the wall of their
+    own initial bounding box.  An empty array yields a unit square.
+    """
+    xy = np.asarray(xy, dtype=float)
+    if xy.size == 0:
+        return Rectangle(0.0, 0.0, 1.0, 1.0)
+    x_min, y_min = xy.min(axis=0)
+    x_max, y_max = xy.max(axis=0)
+    pad_x = max((x_max - x_min) * margin_fraction, 1.0)
+    pad_y = max((y_max - y_min) * margin_fraction, 1.0)
+    return Rectangle(x_min - pad_x, y_min - pad_y, x_max + pad_x, y_max + pad_y)

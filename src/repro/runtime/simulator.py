@@ -134,6 +134,21 @@ class Simulator:
         """Index of the next slot to execute."""
         return self._slot
 
+    def _resolve_objects(
+        self, transmissions: list[Transmission], listeners: list, slot: int
+    ) -> dict[int, Reception]:
+        """Object-path channel resolution, forwarding the slot when needed.
+
+        The slot index is passed only when the channel's parameters carry a
+        *stochastic* gain model (slot-dependent fading); custom channels that
+        override ``resolve`` with the classic two-argument signature keep
+        working unchanged under the deterministic model (including an
+        explicit ``DeterministicPathLoss``).
+        """
+        if self.channel.params.effective_gain_model is not None:
+            return self.channel.resolve(transmissions, listeners, slot)
+        return self.channel.resolve(transmissions, listeners)
+
     def step(self, label: str = "") -> SlotRecord | None:
         """Execute one slot.
 
@@ -177,7 +192,9 @@ class Simulator:
         if tx_pos and len(tx_pos) < n:
             if self._full_universe:
                 tx_arr = np.array(tx_pos, dtype=np.intp)
-                best, sinr, ok = self.channel.resolve_indices_full(tx_arr, power_arr)
+                best, sinr, ok = self.channel.resolve_indices_full(
+                    tx_arr, power_arr, slot=slot
+                )
                 # Half-duplex: transmitter columns never decode.
                 for pos in np.nonzero(ok & listening)[0].tolist():
                     b = int(best[pos])
@@ -190,7 +207,7 @@ class Simulator:
                 tx_arr = np.array(tx_pos, dtype=np.intp)
                 rx_arr = np.nonzero(listening)[0]
                 best, sinr, ok = self.channel.resolve_indices(
-                    self._cache_idx[tx_arr], self._cache_idx[rx_arr], power_arr
+                    self._cache_idx[tx_arr], self._cache_idx[rx_arr], power_arr, slot=slot
                 )
                 for j in np.nonzero(ok)[0].tolist():
                     b = int(best[j])
@@ -208,7 +225,7 @@ class Simulator:
                     for i, power, message in zip(tx_pos, powers, messages)
                 ]
                 listeners = [nodes[i] for i in np.nonzero(listening)[0].tolist()]
-                resolved = self.channel.resolve(transmissions, listeners)
+                resolved = self._resolve_objects(transmissions, listeners, slot)
                 for node_id, reception in resolved.items():
                     pos = self._pos_by_id[node_id]
                     receptions[pos] = reception
@@ -241,7 +258,7 @@ class Simulator:
                 transmissions.append(action)
                 transmitter_ids.append(agent.node_id)
 
-        receptions = self.channel.resolve(transmissions, listeners)
+        receptions = self._resolve_objects(transmissions, listeners, self._slot)
         for agent in self.agents:
             agent.observe(self._slot, receptions.get(agent.node_id))
 

@@ -41,17 +41,31 @@ __all__ = [
 ]
 
 
+def _scalar_fade(params: SINRParameters, tx_id: int, rx_id: int) -> float:
+    """Slot-free gain-model fade for one ordered node pair (1.0 = unit gain)."""
+    model = params.effective_gain_model
+    if model is None:
+        return 1.0
+    fade = model.fade_pairs(
+        np.array([tx_id], dtype=np.int64), np.array([rx_id], dtype=np.int64), None
+    )
+    return 1.0 if fade is None else float(fade[0])
+
+
 def link_cost(link: Link, sender_power: float, params: SINRParameters) -> float:
     """The cost term ``c(u, v)`` of a link given its sender's power.
 
     Returns ``math.inf`` when the power cannot overcome noise even without
-    interference (the link is then infeasible outright).
+    interference (the link is then infeasible outright).  Under a stochastic
+    ``params.gain_model`` the sender's signal arrives scaled by the pair's
+    fade factor, exactly as in the matrix kernels.
     """
     if sender_power <= 0:
         raise ValueError("sender_power must be positive")
     if params.noise == 0:
         return params.beta
-    margin = 1.0 - params.beta * params.noise * link.length**params.alpha / sender_power
+    received = sender_power * _scalar_fade(params, link.sender.id, link.receiver.id)
+    margin = 1.0 - params.beta * params.noise * link.length**params.alpha / received
     if margin <= 0:
         return math.inf
     return params.beta / margin
@@ -68,6 +82,9 @@ def affectance(
 
     The link's own sender never affects itself (returns 0).  An interferer
     co-located with the link's receiver saturates at ``1 + epsilon``.
+    Gain-model fades scale both the interferer's landed power and the link's
+    own signal, keeping this scalar form consistent with the
+    :class:`~repro.sinr.arrays.LinkArrayCache` matrix path.
     """
     if interferer.id == link.sender.id:
         return 0.0
@@ -80,7 +97,13 @@ def affectance(
     separation = interferer.distance_to(link.receiver)
     if separation <= 0:
         return cap
-    raw = cost * (interferer_power / link_power) * (link.length / separation) ** params.alpha
+    if params.effective_gain_model is None:
+        power_ratio = interferer_power / link_power
+    else:
+        landed = interferer_power * _scalar_fade(params, interferer.id, link.receiver.id)
+        wanted = link_power * _scalar_fade(params, link.sender.id, link.receiver.id)
+        power_ratio = landed / wanted
+    raw = cost * power_ratio * (link.length / separation) ** params.alpha
     return min(cap, raw)
 
 

@@ -40,6 +40,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
+from ..geometry import Node, Point
 from ..links import Link
 from .parameters import SINRParameters
 from .power import PowerAssignment
@@ -65,6 +66,8 @@ def _affectance_kernel(
     row_powers: np.ndarray,
     col_powers: np.ndarray,
     params: SINRParameters,
+    cross_fade: np.ndarray | None = None,
+    signal_fade: np.ndarray | None = None,
 ) -> np.ndarray:
     """Affectance of row senders on column links, from precomputed arrays.
 
@@ -73,18 +76,31 @@ def _affectance_kernel(
     zero by definition (same sender node, or the link itself).  This is the
     exact arithmetic of the seed ``affectance_matrix`` and must stay
     elementwise identical to it (the parity tests pin this down).
+
+    ``cross_fade[i, j]`` optionally scales the power row sender ``i`` lands
+    on column receiver ``j`` and ``signal_fade[j]`` the power column link
+    ``j``'s own signal arrives with (gain-model fading); when both are
+    ``None`` - the deterministic model - the original expressions run
+    unmodified.
     """
     cap = 1.0 + params.epsilon
     if params.noise == 0:
         costs = np.full(col_lengths.shape, params.beta)
     else:
-        margins = 1.0 - params.beta * params.noise * col_lengths**params.alpha / col_powers
+        received_col = col_powers if signal_fade is None else col_powers * signal_fade
+        margins = 1.0 - params.beta * params.noise * col_lengths**params.alpha / received_col
         costs = np.where(margins > 0, params.beta / np.maximum(margins, 1e-300), np.inf)
 
     with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+        if cross_fade is None and signal_fade is None:
+            power_ratio = row_powers[:, None] / col_powers[None, :]
+        else:
+            landed = row_powers[:, None] if cross_fade is None else row_powers[:, None] * cross_fade
+            wanted = col_powers if signal_fade is None else col_powers * signal_fade
+            power_ratio = landed / wanted[None, :]
         raw = (
             costs[None, :]
-            * (row_powers[:, None] / col_powers[None, :])
+            * power_ratio
             * (col_lengths[None, :] / np.maximum(dist, 1e-300)) ** params.alpha
         )
     raw = np.where(dist <= 0, np.inf, raw)
@@ -97,11 +113,15 @@ def affectance_matrix_from_arrays(
     lengths: np.ndarray,
     powers: np.ndarray,
     params: SINRParameters,
+    cross_fade: np.ndarray | None = None,
+    signal_fade: np.ndarray | None = None,
 ) -> np.ndarray:
     """Pairwise affectance matrix from precomputed arrays.
 
     ``dist[i, j]`` is the distance from link ``i``'s sender to link ``j``'s
     receiver and ``same_sender[i, j]`` marks pairs sharing a sender node.
+    ``cross_fade``/``signal_fade`` are the optional gain-model fade factors
+    (see :func:`_affectance_kernel`).
     """
     m = len(lengths)
     if m == 0:
@@ -109,7 +129,9 @@ def affectance_matrix_from_arrays(
     if np.any(powers <= 0):
         raise ValueError("all link powers must be positive")
     zero_mask = same_sender | np.eye(m, dtype=bool)
-    return _affectance_kernel(dist, zero_mask, lengths, powers, powers, params)
+    return _affectance_kernel(
+        dist, zero_mask, lengths, powers, powers, params, cross_fade, signal_fade
+    )
 
 
 def sinr_values_from_arrays(
@@ -118,6 +140,8 @@ def sinr_values_from_arrays(
     lengths: np.ndarray,
     powers: np.ndarray,
     params: SINRParameters,
+    cross_fade: np.ndarray | None = None,
+    signal_fade: np.ndarray | None = None,
 ) -> np.ndarray:
     """Raw Eqn. (1) SINR at each link's receiver, from precomputed arrays."""
     m = len(lengths)
@@ -125,7 +149,11 @@ def sinr_values_from_arrays(
         return np.zeros(0, dtype=float)
     with np.errstate(divide="ignore"):
         received = powers[:, None] / np.maximum(dist, 1e-300) ** params.alpha
+    if cross_fade is not None:
+        received = received * cross_fade
     signal = powers / lengths**params.alpha
+    if signal_fade is not None:
+        signal = signal * signal_fade
     interference_matrix = np.where(same_sender, 0.0, received)
     interference = interference_matrix.sum(axis=0)
     return signal / (params.noise + interference)
@@ -199,6 +227,30 @@ class LinkArrayCache(Sequence):
 
     # -- cached structures ---------------------------------------------------
 
+    def _fades(
+        self,
+        params: SINRParameters,
+        rows: np.ndarray | None = None,
+        cols: np.ndarray | None = None,
+    ) -> tuple[np.ndarray | None, np.ndarray | None]:
+        """Gain-model fade factors for a (row links x column links) block.
+
+        Returns ``(cross_fade, signal_fade)``: the fade of every row sender's
+        power at every column receiver, and the aligned per-link fade of each
+        column link's own signal.  ``None`` indices mean the whole universe;
+        both results are ``None`` under the deterministic model, which keeps
+        every kernel on its original code path.  Link-level fades use the
+        slot-free draw (``slot=None``) - feasibility and scheduling are
+        slotless contexts; the slotted channel applies per-slot fades itself.
+        """
+        model = params.effective_gain_model
+        if model is None:
+            return None, None
+        row_tx = self.sender_ids if rows is None else self.sender_ids[rows]
+        col_tx = self.sender_ids if cols is None else self.sender_ids[cols]
+        col_rx = self.receiver_ids if cols is None else self.receiver_ids[cols]
+        return model.fade(row_tx, col_rx), model.fade_pairs(col_tx, col_rx)
+
     def distance_matrix(self) -> np.ndarray:
         """``D[i, j]`` = distance from link ``i``'s sender to link ``j``'s receiver."""
         if self._distances is None:
@@ -237,6 +289,7 @@ class LinkArrayCache(Sequence):
         key = (id(power), params)
         matrix = self._affectance.get(key)
         if matrix is None:
+            cross_fade, signal_fade = self._fades(params)
             matrix = _freeze(
                 affectance_matrix_from_arrays(
                     self.distance_matrix(),
@@ -244,6 +297,8 @@ class LinkArrayCache(Sequence):
                     self.lengths,
                     self.powers(power),
                     params,
+                    cross_fade,
+                    signal_fade,
                 )
             )
             self._affectance[key] = matrix
@@ -285,8 +340,16 @@ class LinkArrayCache(Sequence):
         zero_mask = (
             self.sender_ids[rows][:, None] == self.sender_ids[cols][None, :]
         ) | (rows[:, None] == cols[None, :])
+        cross_fade, signal_fade = self._fades(params, rows, cols)
         return _affectance_kernel(
-            dist, zero_mask, self.lengths[cols], powers[rows], powers[cols], params
+            dist,
+            zero_mask,
+            self.lengths[cols],
+            powers[rows],
+            powers[cols],
+            params,
+            cross_fade,
+            signal_fade,
         )
 
     def sinr_values(
@@ -305,6 +368,7 @@ class LinkArrayCache(Sequence):
             key = (id(power), params)
             values = self._sinr.get(key)
             if values is None:
+                cross_fade, signal_fade = self._fades(params)
                 values = _freeze(
                     sinr_values_from_arrays(
                         self.distance_matrix(),
@@ -312,18 +376,23 @@ class LinkArrayCache(Sequence):
                         self.lengths,
                         self.powers(power),
                         params,
+                        cross_fade,
+                        signal_fade,
                     )
                 )
                 self._sinr[key] = values
             return values
         idx = np.asarray(indices, dtype=np.intp)
         sub = np.ix_(idx, idx)
+        cross_fade, signal_fade = self._fades(params, idx, idx)
         return sinr_values_from_arrays(
             self.distance_matrix()[sub],
             self.same_sender_mask()[sub],
             self.lengths[idx],
             self.powers(power)[idx],
             params,
+            cross_fade,
+            signal_fade,
         )
 
     def gain_matrix(self, params: SINRParameters) -> np.ndarray:
@@ -337,7 +406,15 @@ class LinkArrayCache(Sequence):
             dist = self.distance_matrix().T
             with np.errstate(divide="ignore"):
                 raw = 1.0 / np.maximum(dist, 1e-300) ** params.alpha
-            gains = _freeze(np.where(dist <= 0, np.inf, raw))
+            gains = np.where(dist <= 0, np.inf, raw)
+            model = params.effective_gain_model
+            if model is not None:
+                # fade(sender_ids, receiver_ids)[j, i] is sender j's fade at
+                # receiver i; transpose into the (receiver, sender) layout.
+                fade = model.fade(self.sender_ids, self.receiver_ids)
+                if fade is not None:
+                    gains = gains * fade.T
+            gains = _freeze(gains)
             self._gain[params] = gains
         return gains
 
@@ -375,6 +452,7 @@ class NodeArrayCache:
         self._index_by_id = {node.id: i for i, node in enumerate(self.nodes)}
         self._distances: np.ndarray | None = None
         self._attenuation: dict[float, np.ndarray] = {}
+        self._fades: dict[object, np.ndarray | None] = {}
 
     def __len__(self) -> int:
         return len(self.nodes)
@@ -409,6 +487,60 @@ class NodeArrayCache:
             att[dist <= 0] = 0.0
             self._attenuation[alpha] = _freeze(att)
         return att
+
+    def fade_matrix(self, model) -> np.ndarray | None:
+        """Full-universe fade matrix of a *slot-invariant* gain model, cached.
+
+        Static fades (e.g. log-normal shadowing) are pure functions of node
+        ids - positions never enter - so the matrix is hashed once per model
+        and merely sliced on every slot, and it stays valid across
+        :meth:`update_positions`.  ``None`` (unit gain) is cached as such.
+        """
+        if model not in self._fades:
+            fade = model.fade(self.ids, self.ids, None)
+            self._fades[model] = None if fade is None else _freeze(fade)
+        return self._fades[model]
+
+    def update_positions(self, indices, new_xy) -> None:
+        """Move a subset of nodes, patching cached matrices incrementally.
+
+        The mobility models of ``repro.dynamics`` call this between slots:
+        instead of rebuilding the O(n^2) distance and attenuation matrices
+        from scratch, only the rows and columns of the ``k`` moved nodes are
+        recomputed - O(k * n) work per step, bit-for-bit identical to a full
+        rebuild from the new coordinates (``hypot`` is sign-insensitive, so
+        mirroring rows into columns is exact).  Node objects are refreshed in
+        place so ``self.nodes`` always reflects the current positions.
+
+        Args:
+            indices: universe indices of the nodes that moved.
+            new_xy: their new coordinates, shape ``(len(indices), 2)``.
+        """
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.size == 0:
+            return
+        coords = np.asarray(new_xy, dtype=float).reshape(idx.size, 2)
+        self.xy.flags.writeable = True
+        self.xy[idx] = coords
+        self.xy.flags.writeable = False
+        for i, (x, y) in zip(idx.tolist(), coords.tolist()):
+            self.nodes[i] = Node(id=self.nodes[i].id, position=Point(x, y))
+        if self._distances is None:
+            return
+        diff = self.xy[idx][:, None, :] - self.xy[None, :, :]
+        rows = np.hypot(diff[..., 0], diff[..., 1])
+        dist = self._distances
+        dist.flags.writeable = True
+        dist[idx, :] = rows
+        dist[:, idx] = rows.T
+        dist.flags.writeable = False
+        for alpha, att in self._attenuation.items():
+            att_rows = np.maximum(rows, 1e-300) ** alpha
+            att_rows[rows <= 0] = 0.0
+            att.flags.writeable = True
+            att[idx, :] = att_rows
+            att[:, idx] = att_rows.T
+            att.flags.writeable = False
 
 
 class AffectanceAccumulator:

@@ -83,7 +83,11 @@ class Reception:
 
 
 def decode_arrays(
-    dist: np.ndarray, powers: np.ndarray, params: SINRParameters
+    dist: np.ndarray,
+    powers: np.ndarray,
+    params: SINRParameters,
+    *,
+    fade: np.ndarray | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Vectorized SINR decode over a transmitter-to-listener distance matrix.
 
@@ -91,6 +95,15 @@ def decode_arrays(
     and ``powers[i]`` the power of transmitter ``i``.  Every listener decodes
     the transmitter with the strongest received signal at its location,
     provided the SINR against all other signals meets ``params.beta``.
+
+    Args:
+        dist: transmitter-to-listener distance matrix.
+        powers: per-transmitter power vector.
+        params: physical-model parameters.
+        fade: optional multiplicative fade-factor matrix (same shape as
+            ``dist``) from a :class:`~repro.dynamics.gain.GainModel`; ``None``
+            leaves the deterministic path loss untouched - the code path is
+            then byte-identical to the seed kernel.
 
     Returns:
         ``(best, sinr, ok)``, each of length ``dist.shape[1]``: per listener,
@@ -103,6 +116,8 @@ def decode_arrays(
     with np.errstate(divide="ignore"):
         received = powers[:, None] / np.maximum(dist, 1e-300) ** params.alpha
     received = np.where(dist <= 0, np.inf, received)
+    if fade is not None:
+        received = received * fade
     return _decode_received(received, params)
 
 
@@ -130,11 +145,14 @@ def decode_reference(
     dist: np.ndarray,
     powers: np.ndarray,
     params: SINRParameters,
+    fade: np.ndarray | None = None,
 ) -> dict[int, Reception]:
     """The seed per-listener decode loop, kept as the parity/benchmark oracle."""
     with np.errstate(divide="ignore"):
         received = powers[:, None] / np.maximum(dist, 1e-300) ** params.alpha
     received = np.where(dist <= 0, np.inf, received)
+    if fade is not None:
+        received = received * fade
 
     total = received.sum(axis=0) + params.noise
     results: dict[int, Reception] = {}
@@ -166,6 +184,7 @@ class Channel:
         self,
         transmissions: Sequence[Transmission],
         listeners: Iterable[Node],
+        slot: int | None = None,
     ) -> dict[int, Reception]:
         """Determine which listeners decode which transmission.
 
@@ -179,6 +198,9 @@ class Channel:
                 node appears as the sender of several transmissions a
                 ``ValueError`` is raised - a radio sends one message per slot.
             listeners: the nodes listening in this slot.
+            slot: global slot index, consumed only by a slot-dependent
+                ``params.gain_model`` (e.g. Rayleigh fast fading); ``None``
+                selects the model's slot-free draw.
 
         Returns:
             Mapping from listener node id to the :class:`Reception` it decoded.
@@ -198,7 +220,15 @@ class Channel:
 
         dist = self._distances(transmissions, active_listeners)
         powers = np.array([t.power for t in transmissions], dtype=float)
-        return self._decode(transmissions, active_listeners, dist, powers)
+        model = self.params.effective_gain_model
+        if model is None:
+            return self._decode(transmissions, active_listeners, dist, powers)
+        fade = model.fade(
+            np.array(sender_ids, dtype=np.int64),
+            np.array([n.id for n in active_listeners], dtype=np.int64),
+            slot,
+        )
+        return self._decode(transmissions, active_listeners, dist, powers, fade=fade)
 
     def _distances(
         self, transmissions: Sequence[Transmission], active_listeners: Sequence[Node]
@@ -215,9 +245,10 @@ class Channel:
         active_listeners: Sequence[Node],
         dist: np.ndarray,
         powers: np.ndarray,
+        fade: np.ndarray | None = None,
     ) -> dict[int, Reception]:
         """Resolve receptions from a transmitter-to-listener distance matrix."""
-        best, sinr, ok = decode_arrays(dist, powers, self.params)
+        best, sinr, ok = decode_arrays(dist, powers, self.params, fade=fade)
         results: dict[int, Reception] = {}
         for j in np.nonzero(ok)[0]:
             t = transmissions[int(best[j])]
@@ -226,12 +257,38 @@ class Channel:
             )
         return results
 
+    def _index_fade(
+        self,
+        cache: NodeArrayCache,
+        tx: np.ndarray,
+        rx: np.ndarray | None,
+        slot: int | None,
+    ) -> np.ndarray | None:
+        """Gain-model fade block for index arrays (``rx=None`` = all nodes).
+
+        Slot-invariant models (static shadowing) are served from the node
+        cache's per-model fade matrix - hashed once, sliced per slot - while
+        slot-dependent models (fast fading) are evaluated fresh.  ``None``
+        means unit gain: the caller skips the multiplication.
+        """
+        model = self.params.effective_gain_model
+        if model is None:
+            return None
+        if model.slot_invariant:
+            full = cache.fade_matrix(model)
+            if full is None:
+                return None
+            return full[tx] if rx is None else full[np.ix_(tx, rx)]
+        rx_ids = cache.ids if rx is None else cache.ids[rx]
+        return model.fade(cache.ids[tx], rx_ids, slot)
+
     def resolve_indices(
         self,
         tx_indices: np.ndarray,
         rx_indices: np.ndarray,
         powers: np.ndarray,
         cache: NodeArrayCache,
+        slot: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Index-array fast path of :meth:`resolve` against a node cache.
 
@@ -263,6 +320,9 @@ class Channel:
         attenuation = cache.attenuation_matrix(self.params.alpha)[np.ix_(tx, rx)]
         with np.errstate(divide="ignore"):
             received = np.asarray(powers, dtype=float)[:, None] / attenuation
+        fade = self._index_fade(cache, tx, rx, slot)
+        if fade is not None:
+            received = received * fade
         return _decode_received(received, self.params)
 
     def resolve_indices_full(
@@ -270,6 +330,7 @@ class Channel:
         tx_indices: np.ndarray,
         powers: np.ndarray,
         cache: NodeArrayCache,
+        slot: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """:meth:`resolve_indices` with the *whole universe* as listeners.
 
@@ -291,6 +352,9 @@ class Channel:
         attenuation = cache.attenuation_matrix(self.params.alpha)[tx]
         with np.errstate(divide="ignore"):
             received = np.asarray(powers, dtype=float)[:, None] / attenuation
+        fade = self._index_fade(cache, tx, None, slot)
+        if fade is not None:
+            received = received * fade
         return _decode_received(received, self.params)
 
     def link_succeeds(
@@ -299,6 +363,7 @@ class Channel:
         receiver: Node,
         sender_power: float,
         concurrent: Mapping[int, tuple[Node, float]] | Sequence[Transmission],
+        slot: int | None = None,
     ) -> bool:
         """Whether a specific sender->receiver transmission meets the threshold.
 
@@ -309,6 +374,7 @@ class Channel:
             concurrent: the other simultaneous transmissions, either as a
                 sequence of :class:`Transmission` or a mapping from node id to
                 ``(node, power)``.
+            slot: global slot index for slot-dependent gain models.
         """
         if isinstance(concurrent, Mapping):
             others = [(node, power) for node, power in concurrent.values()]
@@ -321,12 +387,26 @@ class Channel:
         if distance <= 0:
             return False
         signal = sender_power / distance**self.params.alpha
+        model = self.params.effective_gain_model
+        if model is not None:
+            signal_fade = model.fade_pairs(
+                np.array([sender.id]), np.array([receiver.id]), slot
+            )
+            if signal_fade is not None:
+                signal *= float(signal_fade[0])
         if others:
             powers = np.array([power for _, power in others], dtype=float)
             dist = self._distances_to_node(receiver, [node for node, _ in others])
-            interference = float(
-                (powers / np.maximum(dist, 1e-300) ** self.params.alpha).sum()
-            )
+            received = powers / np.maximum(dist, 1e-300) ** self.params.alpha
+            if model is not None:
+                cross_fade = model.fade_pairs(
+                    np.array([node.id for node, _ in others], dtype=np.int64),
+                    np.full(len(others), receiver.id, dtype=np.int64),
+                    slot,
+                )
+                if cross_fade is not None:
+                    received = received * cross_fade
+            interference = float(received.sum())
         else:
             interference = 0.0
         return signal / (self.params.noise + interference) >= self.params.beta
@@ -358,11 +438,25 @@ class CachedChannel(Channel):
         params: the physical-model parameters.
         nodes: the node universe (e.g. all simulator agents' nodes, or every
             endpoint of a link set being scheduled).
+        cache: an existing :class:`NodeArrayCache` over the same universe to
+            share instead of building a new one - several channels with
+            different parameters (e.g. one per gain model under study) can
+            then reuse one set of O(n^2) distance/attenuation matrices.
+            When given, ``nodes`` is ignored.
     """
 
-    def __init__(self, params: SINRParameters, nodes: Iterable[Node]):
+    def __init__(
+        self,
+        params: SINRParameters,
+        nodes: Iterable[Node] | None = None,
+        cache: NodeArrayCache | None = None,
+    ):
         super().__init__(params)
-        self.cache = NodeArrayCache(nodes)
+        if cache is None:
+            if nodes is None:
+                raise ValueError("CachedChannel needs a node universe: pass nodes or cache")
+            cache = NodeArrayCache(nodes)
+        self.cache = cache
 
     def _distances(
         self, transmissions: Sequence[Transmission], active_listeners: Sequence[Node]
@@ -384,10 +478,11 @@ class CachedChannel(Channel):
         rx_indices: np.ndarray,
         powers: np.ndarray,
         cache: NodeArrayCache | None = None,
+        slot: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Index-array fast path; indices address this channel's own cache."""
         return super().resolve_indices(
-            tx_indices, rx_indices, powers, self.cache if cache is None else cache
+            tx_indices, rx_indices, powers, self.cache if cache is None else cache, slot
         )
 
     def resolve_indices_full(
@@ -395,10 +490,11 @@ class CachedChannel(Channel):
         tx_indices: np.ndarray,
         powers: np.ndarray,
         cache: NodeArrayCache | None = None,
+        slot: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Whole-universe fast path; indices address this channel's own cache."""
         return super().resolve_indices_full(
-            tx_indices, powers, self.cache if cache is None else cache
+            tx_indices, powers, self.cache if cache is None else cache, slot
         )
 
     def _distances_to_node(self, receiver: Node, nodes: Sequence[Node]) -> np.ndarray:

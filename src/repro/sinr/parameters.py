@@ -12,8 +12,12 @@ threshold, and ``N`` the ambient noise.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 from ..exceptions import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dynamics uses sinr)
+    from ..dynamics.gain import GainModel
 
 __all__ = ["SINRParameters", "DEFAULT_PARAMETERS"]
 
@@ -30,6 +34,13 @@ class SINRParameters:
             ``min(1 + epsilon, ...)`` (Section 5).
         max_power: optional hard cap on transmit power.  The paper imposes no
             cap; a finite value is useful for sensitivity studies only.
+        gain_model: optional channel-gain model (``repro.dynamics.gain``)
+            multiplying the deterministic path loss with per-pair fade
+            factors.  ``None`` (the default) is the paper's pure
+            ``P / d**alpha`` model; every kernel then takes its original code
+            path, bit-for-bit.  The model must be a pure function of
+            ``(configuration, node ids, slot)`` so cached matrices keyed by
+            this parameter bundle stay valid.
     """
 
     alpha: float = 3.0
@@ -37,6 +48,7 @@ class SINRParameters:
     noise: float = 1.0
     epsilon: float = 0.1
     max_power: float | None = None
+    gain_model: "GainModel | None" = None
 
     def __post_init__(self) -> None:
         if self.alpha <= 2.0:
@@ -74,7 +86,20 @@ class SINRParameters:
             return 0.0
         return slack / (slack - 1.0) * self.beta * self.noise * length**self.alpha
 
-    def with_overrides(self, **kwargs: float) -> "SINRParameters":
+    @property
+    def effective_gain_model(self) -> "GainModel | None":
+        """The gain model when it can actually perturb results, else ``None``.
+
+        Kernels branch on this: a ``None`` (absent *or* deterministic) model
+        means the original hardcoded-path-loss code path runs unmodified, so
+        ``DeterministicPathLoss`` is bit-for-bit equivalent to no model.
+        """
+        model = self.gain_model
+        if model is None or model.deterministic:
+            return None
+        return model
+
+    def with_overrides(self, **kwargs) -> "SINRParameters":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 

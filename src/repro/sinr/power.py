@@ -179,6 +179,28 @@ class ExplicitPower(PowerAssignment):
         """Copy of the explicit (sender id, receiver id) -> power mapping."""
         return dict(self._powers)
 
+    @property
+    def fallback(self) -> PowerAssignment | None:
+        """The assignment consulted for links absent from the explicit map."""
+        return self._fallback
+
+    def flattened(self) -> tuple[dict[tuple[int, int], float], PowerAssignment | None]:
+        """Explicit entries merged across chained ``ExplicitPower`` fallbacks.
+
+        Outer layers win on key collisions.  Returns the merged mapping plus
+        the first non-explicit fallback (or ``None``), so repeated
+        wrap-and-fallback constructions (e.g. one tree repair per churn
+        epoch) can rebuild a single flat layer instead of growing an
+        unbounded lookup chain.
+        """
+        merged: dict[tuple[int, int], float] = {}
+        layer: PowerAssignment | None = self
+        while isinstance(layer, ExplicitPower):
+            for key, value in layer._powers.items():
+                merged.setdefault(key, value)
+            layer = layer._fallback
+        return merged, layer
+
 
 OBLIVIOUS_SCHEMES = ("uniform", "mean", "linear")
 

@@ -1,0 +1,208 @@
+"""Tests for repro.dynamics.churn and the DynamicSimulator driver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import InitialTreeBuilder, TreeRepairer
+from repro.dynamics import (
+    ChurnProcess,
+    DynamicScenario,
+    DynamicSimulator,
+    LogNormalShadowing,
+    RandomWalk,
+    RayleighFading,
+)
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.geometry import Node, Point, uniform_random
+from repro.sinr import SINRParameters, is_feasible
+
+
+class TestChurnProcess:
+    def test_events_are_deterministic_per_seed_and_epoch(self, rng):
+        nodes = uniform_random(30, rng)
+        churn = ChurnProcess(failure_prob=0.2, arrival_rate=1.0, seed=5)
+        a = churn.events_for(3, nodes, next_id=100)
+        b = ChurnProcess(failure_prob=0.2, arrival_rate=1.0, seed=5).events_for(
+            3, nodes, next_id=100
+        )
+        assert a == b
+        assert a != churn.events_for(4, nodes, next_id=100)
+
+    def test_never_kills_everyone(self):
+        nodes = [Node(i, Point(3.0 * i, 0.0)) for i in range(5)]
+        churn = ChurnProcess(failure_prob=1.0, seed=1)
+        event = churn.events_for(0, nodes, next_id=10)
+        assert len(event.failed) == len(nodes) - 1
+
+    def test_protected_ids_never_fail(self):
+        nodes = [Node(i, Point(3.0 * i, 0.0)) for i in range(10)]
+        churn = ChurnProcess(failure_prob=1.0, seed=2, protected_ids=[0, 3])
+        for epoch in range(5):
+            event = churn.events_for(epoch, nodes, next_id=100)
+            assert 0 not in event.failed and 3 not in event.failed
+
+    def test_arrivals_respect_min_separation(self, rng):
+        nodes = uniform_random(20, rng)
+        churn = ChurnProcess(failure_prob=0.0, arrival_rate=3.0, seed=3)
+        event = churn.events_for(1, nodes, next_id=1000)
+        positions = [(n.x, n.y) for n in nodes] + [(a.x, a.y) for a in event.arrivals]
+        for i, (xi, yi) in enumerate(positions):
+            for xj, yj in positions[i + 1 :]:
+                assert (xi - xj) ** 2 + (yi - yj) ** 2 >= 1.0 - 1e-9
+        assert all(a.id >= 1000 for a in event.arrivals)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ChurnProcess(failure_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            ChurnProcess(arrival_rate=-1.0)
+        with pytest.raises(ConfigurationError):
+            ChurnProcess(min_separation=0.0)
+
+
+class TestIntegrateArrivals:
+    @pytest.fixture(scope="class")
+    def built(self):
+        params = SINRParameters()
+        rng = np.random.default_rng(7)
+        nodes = uniform_random(24, rng)
+        outcome = InitialTreeBuilder(params).build(nodes, rng)
+        return params, outcome
+
+    def test_arrivals_attach_and_span(self, built, rng):
+        params, outcome = built
+        arrivals = [Node(id=500, position=Point(-5.0, -5.0)), Node(id=501, position=Point(60.0, 60.0))]
+        result = TreeRepairer(params).integrate(
+            outcome.tree, outcome.power, arrivals=arrivals, rng=rng
+        )
+        result.tree.validate()
+        assert result.tree.is_strongly_connected()
+        assert set(result.tree.nodes) == set(outcome.tree.nodes) | {500, 501}
+        assert result.arrived == frozenset({500, 501})
+        assert result.slots_used > 0
+
+    def test_simultaneous_failures_and_arrivals(self, built, rng):
+        params, outcome = built
+        victims = [n for n in outcome.tree.nodes if n != outcome.tree.root_id][:3]
+        arrivals = [Node(id=600, position=Point(100.0, 0.0))]
+        result = TreeRepairer(params).integrate(
+            outcome.tree, outcome.power, failed_ids=victims, arrivals=arrivals, rng=rng
+        )
+        result.tree.validate()
+        assert result.tree.is_strongly_connected()
+        assert set(result.tree.nodes) == (set(outcome.tree.nodes) - set(victims)) | {600}
+
+    def test_new_slot_groups_feasible_under_recorded_powers(self, built, rng):
+        params, outcome = built
+        arrivals = [Node(id=700, position=Point(-8.0, 20.0))]
+        result = TreeRepairer(params).integrate(
+            outcome.tree, outcome.power, arrivals=arrivals, rng=rng
+        )
+        old_span = outcome.tree.aggregation_schedule.span
+        schedule = result.tree.aggregation_schedule
+        new_slots = [slot for slot in schedule.used_slots() if slot > old_span]
+        assert new_slots
+        for slot in new_slots:
+            assert is_feasible(list(schedule.links_in_slot(slot)), result.power, params)
+
+    def test_arrival_id_clash_rejected(self, built, rng):
+        params, outcome = built
+        existing = next(iter(outcome.tree.nodes))
+        with pytest.raises(ProtocolError):
+            TreeRepairer(params).integrate(
+                outcome.tree,
+                outcome.power,
+                arrivals=[Node(id=existing, position=Point(0.0, 99.0))],
+                rng=rng,
+            )
+
+    def test_empty_event_is_noop(self, built, rng):
+        params, outcome = built
+        result = TreeRepairer(params).integrate(outcome.tree, outcome.power, rng=rng)
+        assert result.slots_used == 0
+        assert result.tree.parent == outcome.tree.parent
+        assert not result.root_changed
+
+
+class TestDynamicSimulator:
+    def _scenario(self):
+        return DynamicScenario(
+            mobility=RandomWalk(sigma=0.4),
+            churn=ChurnProcess(failure_prob=0.08, arrival_rate=0.5, seed=21),
+            gain_model=LogNormalShadowing(sigma_db=3.0, seed=22),
+            epochs=5,
+        )
+
+    def test_run_is_reproducible(self):
+        params = SINRParameters()
+        nodes = uniform_random(20, np.random.default_rng(9))
+        a = DynamicSimulator(nodes, params, self._scenario(), seed=4).run()
+        b = DynamicSimulator(list(nodes), params, self._scenario(), seed=4).run()
+        assert a.records == b.records
+        assert a.total_repair_slots == b.total_repair_slots
+
+    def test_structure_stays_connected_through_churn(self):
+        params = SINRParameters()
+        nodes = uniform_random(20, np.random.default_rng(10))
+        result = DynamicSimulator(nodes, params, self._scenario(), seed=5).run()
+        assert len(result.records) == 5
+        assert all(record.strongly_connected for record in result.records)
+        assert result.tree is not None and result.tree.is_strongly_connected()
+
+    def test_static_deterministic_scenario_never_degrades(self):
+        params = SINRParameters()
+        nodes = uniform_random(16, np.random.default_rng(11))
+        scenario = DynamicScenario(epochs=3)
+        result = DynamicSimulator(nodes, params, scenario, seed=6).run()
+        assert all(record.repair_slots == 0 for record in result.records)
+        assert all(record.moved == 0 for record in result.records)
+        first = result.records[0]
+        assert all(
+            record.feasible_fraction == first.feasible_fraction for record in result.records
+        )
+
+    def test_half_life_reported_under_aggressive_mobility(self):
+        params = SINRParameters()
+        nodes = uniform_random(20, np.random.default_rng(12))
+        scenario = DynamicScenario(mobility=RandomWalk(sigma=4.0), epochs=10)
+        result = DynamicSimulator(nodes, params, scenario, seed=7).run()
+        half_life = result.half_life()
+        assert half_life is not None and 0 <= half_life < 10
+
+    def test_rayleigh_fading_scenario_runs(self):
+        params = SINRParameters()
+        nodes = uniform_random(16, np.random.default_rng(13))
+        scenario = DynamicScenario(gain_model=RayleighFading(seed=31), epochs=3)
+        result = DynamicSimulator(nodes, params, scenario, seed=8).run()
+        assert len(result.records) == 3
+        assert all(0.0 <= record.link_success_rate <= 1.0 for record in result.records)
+
+    def test_gain_model_on_params_is_honored(self):
+        """Fading configured on SINRParameters works like everywhere else."""
+        nodes = uniform_random(16, np.random.default_rng(15))
+        faded_params = SINRParameters(gain_model=LogNormalShadowing(sigma_db=8.0, seed=41))
+        scenario = DynamicScenario(epochs=2)
+        via_params = DynamicSimulator(list(nodes), faded_params, scenario, seed=10).run()
+        via_scenario = DynamicSimulator(
+            list(nodes),
+            SINRParameters(),
+            DynamicScenario(epochs=2, gain_model=LogNormalShadowing(sigma_db=8.0, seed=41)),
+            seed=10,
+        ).run()
+        assert via_params.records == via_scenario.records
+        plain = DynamicSimulator(list(nodes), SINRParameters(), scenario, seed=10).run()
+        assert via_params.records != plain.records
+
+    def test_health_table_renders_every_epoch(self):
+        from repro.analysis import dynamics_health_table
+
+        params = SINRParameters()
+        nodes = uniform_random(16, np.random.default_rng(14))
+        result = DynamicSimulator(nodes, params, self._scenario(), seed=9).run()
+        table = dynamics_health_table(result.records, title="health")
+        lines = table.splitlines()
+        assert lines[0] == "health"
+        assert "repair_slots" in lines[1]
+        assert len(lines) == 3 + len(result.records)

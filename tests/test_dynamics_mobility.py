@@ -1,0 +1,193 @@
+"""Tests for repro.dynamics.mobility and the incremental NodeArrayCache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dynamics import RandomWalk, RandomWaypoint, StaticMobility, bounding_rectangle
+from repro.exceptions import ConfigurationError
+from repro.geometry import Rectangle, uniform_random
+from repro.sinr import CachedChannel, NodeArrayCache, SINRParameters
+
+
+class TestIncrementalNodeArrayCache:
+    def _moved_cache(self, rng, n=30, k=7, alphas=(2.5, 3.0)):
+        nodes = uniform_random(n, rng)
+        cache = NodeArrayCache(nodes)
+        for alpha in alphas:  # materialize before moving
+            cache.attenuation_matrix(alpha)
+        indices = rng.choice(n, size=k, replace=False).astype(np.intp)
+        new_xy = cache.xy[indices] + rng.normal(0.0, 2.0, size=(k, 2))
+        cache.update_positions(indices, new_xy)
+        return cache, alphas
+
+    def test_update_matches_full_rebuild_bitwise(self, rng):
+        cache, alphas = self._moved_cache(rng)
+        fresh = NodeArrayCache(cache.nodes)
+        assert np.array_equal(cache.xy, fresh.xy)
+        assert np.array_equal(cache.distance_matrix(), fresh.distance_matrix())
+        for alpha in alphas:
+            assert np.array_equal(
+                cache.attenuation_matrix(alpha), fresh.attenuation_matrix(alpha)
+            )
+
+    def test_node_objects_reflect_new_positions(self, rng):
+        cache, _ = self._moved_cache(rng)
+        for i, node in enumerate(cache.nodes):
+            assert node.x == cache.xy[i, 0]
+            assert node.y == cache.xy[i, 1]
+            assert node.id == cache.ids[i]
+
+    def test_update_before_materialization_is_lazy(self, rng):
+        nodes = uniform_random(10, rng)
+        cache = NodeArrayCache(nodes)
+        cache.update_positions(np.array([2, 5]), np.array([[0.0, 0.0], [50.0, 50.0]]))
+        fresh = NodeArrayCache(cache.nodes)
+        assert np.array_equal(cache.distance_matrix(), fresh.distance_matrix())
+
+    def test_empty_update_is_noop(self, rng):
+        nodes = uniform_random(5, rng)
+        cache = NodeArrayCache(nodes)
+        before = cache.distance_matrix().copy()
+        cache.update_positions(np.empty(0, dtype=np.intp), np.empty((0, 2)))
+        assert np.array_equal(cache.distance_matrix(), before)
+
+    def test_cached_channel_decodes_like_fresh_channel_after_move(self, rng):
+        params = SINRParameters()
+        nodes = uniform_random(20, rng)
+        channel = CachedChannel(params, nodes)
+        channel.cache.attenuation_matrix(params.alpha)
+        indices = np.array([0, 7, 13], dtype=np.intp)
+        new_xy = channel.cache.xy[indices] + rng.normal(0.0, 3.0, size=(3, 2))
+        channel.cache.update_positions(indices, new_xy)
+
+        fresh = CachedChannel(params, channel.cache.nodes)
+        tx = np.array([1, 7, 15], dtype=np.intp)
+        rx = np.array([0, 2, 5, 13, 19], dtype=np.intp)
+        powers = np.full(3, params.min_power_for(2.0))
+        for moved, rebuilt in zip(
+            channel.resolve_indices(tx, rx, powers), fresh.resolve_indices(tx, rx, powers)
+        ):
+            assert np.array_equal(moved, rebuilt)
+
+
+class TestRandomWalk:
+    def test_moves_all_nodes_within_bounds(self, rng):
+        bounds = Rectangle(0.0, 0.0, 10.0, 10.0)
+        walk = RandomWalk(sigma=5.0, bounds=bounds)
+        xy = rng.uniform(0.0, 10.0, size=(40, 2))
+        walk.reset(xy, rng)
+        indices, new_xy = walk.move(xy, rng)
+        assert len(indices) == 40
+        assert np.all(new_xy[:, 0] >= 0.0) and np.all(new_xy[:, 0] <= 10.0)
+        assert np.all(new_xy[:, 1] >= 0.0) and np.all(new_xy[:, 1] <= 10.0)
+
+    def test_fraction_moves_subset(self, rng):
+        walk = RandomWalk(sigma=1.0, fraction=0.3)
+        xy = rng.uniform(0.0, 50.0, size=(200, 2))
+        walk.reset(xy, rng)
+        indices, _ = walk.move(xy, rng)
+        assert 0 < len(indices) < 200
+
+    def test_zero_sigma_never_moves(self, rng):
+        walk = RandomWalk(sigma=0.0)
+        xy = rng.uniform(0.0, 10.0, size=(5, 2))
+        walk.reset(xy, rng)
+        indices, new_xy = walk.move(xy, rng)
+        assert len(indices) == 0 and len(new_xy) == 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomWalk(sigma=-1.0)
+        with pytest.raises(ConfigurationError):
+            RandomWalk(sigma=1.0, fraction=0.0)
+
+
+class TestRandomWaypoint:
+    def test_step_length_bounded_by_speed(self, rng):
+        waypoint = RandomWaypoint(speed=1.5)
+        xy = rng.uniform(0.0, 30.0, size=(25, 2))
+        waypoint.reset(xy, rng)
+        indices, new_xy = waypoint.move(xy, rng)
+        steps = np.hypot(*(new_xy - xy[indices]).T)
+        assert np.all(steps <= 1.5 + 1e-9)
+
+    def test_travels_toward_waypoint_until_arrival(self, rng):
+        bounds = Rectangle(0.0, 0.0, 4.0, 4.0)
+        waypoint = RandomWaypoint(speed=10.0, bounds=bounds)
+        xy = np.array([[1.0, 1.0]])
+        waypoint.reset(xy, rng)
+        target = waypoint._waypoints[0].copy()
+        indices, new_xy = waypoint.move(xy, rng)
+        # speed exceeds the region diameter, so the node lands on its target.
+        assert np.allclose(new_xy[0], target)
+
+    def test_pause_steps_rest_at_waypoint(self, rng):
+        waypoint = RandomWaypoint(speed=100.0, bounds=Rectangle(0, 0, 5, 5), pause_steps=2)
+        xy = np.array([[1.0, 1.0]])
+        waypoint.reset(xy, rng)
+        indices, new_xy = waypoint.move(xy, rng)  # arrives, schedules pause
+        xy[indices] = new_xy
+        for _ in range(2):  # pauses for exactly two steps
+            indices, _ = waypoint.move(xy, rng)
+            assert len(indices) == 0
+        indices, _ = waypoint.move(xy, rng)
+        assert len(indices) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(speed=0.0)
+        with pytest.raises(ConfigurationError):
+            RandomWaypoint(speed=1.0, pause_steps=-1)
+
+    def test_begin_run_clears_state_for_a_fresh_deployment(self, rng):
+        """One model instance may drive several runs without leaking geography."""
+        walk = RandomWalk(sigma=0.5)
+        first = rng.uniform(0.0, 10.0, size=(8, 2))
+        walk.begin_run(first, rng)
+        first_bounds = walk._bounds
+        second = rng.uniform(1000.0, 1010.0, size=(8, 2))
+        walk.begin_run(second, rng)
+        assert walk._bounds != first_bounds
+        indices, moved = walk.move(second, rng)
+        assert np.all(moved[:, 0] >= 1000.0 - 10.0)  # stays near the new cloud
+
+        waypoint = RandomWaypoint(speed=1.0)
+        waypoint.begin_run(first, rng, np.arange(8))
+        waypoint.begin_run(second, rng, np.arange(8))
+        assert np.all(waypoint._waypoints[:, 0] >= 990.0)  # fresh targets, new region
+
+    def test_reset_with_ids_carries_survivor_state_across_churn(self, rng):
+        """Survivors keep their journeys when churn re-anchors the universe."""
+        waypoint = RandomWaypoint(speed=0.5, bounds=Rectangle(0, 0, 100, 100))
+        xy = rng.uniform(0.0, 100.0, size=(6, 2))
+        ids = np.array([10, 11, 12, 13, 14, 15])
+        waypoint.reset(xy, rng, ids)
+        targets_before = waypoint._waypoints.copy()
+        # Node 12 dies, node 99 arrives; indices shift.
+        survivors = [0, 1, 3, 4, 5]
+        new_ids = np.array([10, 11, 13, 14, 15, 99])
+        new_xy = np.vstack([xy[survivors], [[50.0, 50.0]]])
+        waypoint.reset(new_xy, rng, new_ids)
+        for new_pos, old_pos in zip(range(5), survivors):
+            assert np.array_equal(waypoint._waypoints[new_pos], targets_before[old_pos])
+
+
+class TestStaticAndBounds:
+    def test_static_mobility_never_moves(self, rng):
+        static = StaticMobility()
+        xy = rng.uniform(0.0, 10.0, size=(8, 2))
+        static.reset(xy, rng)
+        indices, new_xy = static.move(xy, rng)
+        assert len(indices) == 0 and len(new_xy) == 0
+
+    def test_bounding_rectangle_contains_points_with_margin(self, rng):
+        xy = rng.uniform(-5.0, 15.0, size=(30, 2))
+        bounds = bounding_rectangle(xy)
+        assert bounds.x_min < xy[:, 0].min() and bounds.x_max > xy[:, 0].max()
+        assert bounds.y_min < xy[:, 1].min() and bounds.y_max > xy[:, 1].max()
+
+    def test_bounding_rectangle_of_empty(self):
+        bounds = bounding_rectangle(np.empty((0, 2)))
+        assert bounds.area() > 0

@@ -48,7 +48,10 @@ class TestAverageRows:
 
 class TestExperimentRegistry:
     def test_registry_covers_design_index(self):
-        expected = {"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "F1", "F2", "F3"}
+        expected = {
+            "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
+            "E10", "E11", "E12", "F1", "F2", "F3",
+        }
         assert set(ALL_EXPERIMENTS) == expected
 
 

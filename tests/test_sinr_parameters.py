@@ -34,6 +34,16 @@ class TestValidation:
             SINRParameters(max_power=0.0)
         assert SINRParameters(max_power=10.0).max_power == 10.0
 
+    def test_max_power_negative_cap_rejected(self):
+        """Non-positive caps must hit the ConfigurationError branch, not pass."""
+        for bad_cap in (-1e-9, -1.0, -1e9, float("-inf")):
+            with pytest.raises(ConfigurationError):
+                SINRParameters(max_power=bad_cap)
+
+    def test_max_power_unset_means_uncapped(self):
+        assert SINRParameters().max_power is None
+        assert SINRParameters(max_power=None).max_power is None
+
     def test_with_overrides(self):
         params = SINRParameters().with_overrides(alpha=4.0)
         assert params.alpha == 4.0
