@@ -1,0 +1,138 @@
+"""NetworkState benchmarks: sustained-churn epochs cost O(damage).
+
+The headline number of the network-state backbone: a run of churn epochs -
+1-2 node events per epoch at n=512, the E12 regime - driven through one
+capacity-managed :class:`~repro.state.NetworkState` (failures release
+slots, arrivals patch only their own matrix rows) against the pre-refactor
+answer of rebuilding the O(n^2) distance + attenuation caches from scratch
+every epoch.  In timed runs the incremental path must be at least
+``CHURN_SPEEDUP_FLOOR`` times faster; bitwise parity of every live matrix
+block with a from-scratch rebuild is asserted in every mode.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.geometry import Node, Point, deployment_by_name
+from repro.sinr import SINRParameters
+from repro.state import NetworkState
+
+N_NODES = 512
+EPOCHS = 24
+CHURN_SPEEDUP_FLOOR = 5.0
+
+
+def _events(
+    nodes: list[Node], rng: np.random.Generator, epochs: int
+) -> list[tuple[list[int], list[Node]]]:
+    """Precompute the churn stream: per epoch, 1-2 failures and as many arrivals.
+
+    Precomputing keeps the incremental and rebuild loops applying the exact
+    same events, so the comparison times only the cache maintenance.
+    """
+    alive = {node.id: node for node in nodes}
+    next_id = max(alive) + 1
+    events: list[tuple[list[int], list[Node]]] = []
+    for epoch in range(epochs):
+        k = 1 + (epoch % 2)
+        victims = sorted(
+            int(v) for v in rng.choice(sorted(alive), size=k, replace=False)
+        )
+        for victim in victims:
+            del alive[victim]
+        arrivals = []
+        for _ in range(k):
+            x, y = rng.uniform(0.0, 60.0, size=2)
+            arrivals.append(Node(id=next_id, position=Point(float(x), float(y))))
+            alive[next_id] = arrivals[-1]
+            next_id += 1
+        events.append((victims, arrivals))
+    return events
+
+
+def _materialize(state: NetworkState, alpha: float) -> NetworkState:
+    state.distance_matrix()
+    state.attenuation_matrix(alpha)
+    return state
+
+
+def _run_incremental(
+    state: NetworkState, events: list[tuple[list[int], list[Node]]]
+) -> None:
+    for victims, arrivals in events:
+        state.remove_nodes(victims)
+        state.add_nodes(arrivals)
+
+
+def _run_rebuild(
+    nodes: list[Node], events: list[tuple[list[int], list[Node]]], alpha: float
+) -> NetworkState:
+    """The pre-refactor answer to churn: new caches + O(n^2) matrices per epoch."""
+    alive = {node.id: node for node in nodes}
+    state = _materialize(NetworkState(alive.values()), alpha)
+    for victims, arrivals in events:
+        for victim in victims:
+            del alive[victim]
+        for arrival in arrivals:
+            alive[arrival.id] = arrival
+        state = _materialize(NetworkState(alive.values()), alpha)
+    return state
+
+
+def _assert_parity(state: NetworkState, alpha: float) -> None:
+    live = state.live_slots()
+    fresh = _materialize(
+        NetworkState([state.node_at(slot) for slot in live.tolist()]), alpha
+    )
+    block = np.ix_(live, live)
+    assert np.array_equal(state.distance_matrix()[block], fresh.distance_matrix())
+    assert np.array_equal(
+        state.attenuation_matrix(alpha)[block], fresh.attenuation_matrix(alpha)
+    )
+
+
+def bench_network_state_churn(benchmark):
+    params = SINRParameters()
+    nodes = deployment_by_name("uniform", N_NODES, np.random.default_rng(23))
+    epochs = 4 if not benchmark.enabled else EPOCHS
+    events = _events(nodes, np.random.default_rng(24), epochs)
+
+    if not benchmark.enabled:
+        # Blocking CI smoke: bitwise parity of the spliced store only.
+        state = _materialize(NetworkState(nodes), params.alpha)
+        _run_incremental(state, events)
+        _assert_parity(state, params.alpha)
+        benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+        return
+
+    state = _materialize(NetworkState(nodes), params.alpha)
+    start = time.perf_counter()
+    _run_incremental(state, events)
+    incremental_time = time.perf_counter() - start
+    _assert_parity(state, params.alpha)
+
+    start = time.perf_counter()
+    _run_rebuild(nodes, events, params.alpha)
+    rebuild_time = time.perf_counter() - start
+
+    def fresh_incremental():
+        _run_incremental(
+            _materialize(NetworkState(nodes), params.alpha),
+            events,
+        )
+
+    benchmark.pedantic(fresh_incremental, rounds=1, iterations=1)
+    speedup = rebuild_time / incremental_time
+    print()
+    print(
+        f"sustained churn, n={N_NODES}, {epochs} epochs x 1-2 node events: "
+        f"incremental {incremental_time * 1e3:.1f}ms, rebuild {rebuild_time * 1e3:.1f}ms, "
+        f"speedup {speedup:.1f}x"
+    )
+    assert speedup >= CHURN_SPEEDUP_FLOOR, (
+        f"O(damage) churn only {speedup:.1f}x faster than per-epoch rebuild "
+        f"(required: {CHURN_SPEEDUP_FLOOR}x)"
+    )

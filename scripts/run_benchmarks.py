@@ -9,11 +9,17 @@ information, and writes the result to a compact baseline file (default
 the repo; CI runs the micro-benchmarks non-blockingly and uploads the fresh
 JSON as an artifact for comparison.
 
+``--compare`` takes a prior baseline file, prints a per-benchmark delta
+table (mean wall-clock new vs old) and exits non-zero when any benchmark
+regressed beyond ``--regression-threshold``; ``--compare-report`` writes the
+rendered table to a file (CI uploads it as an artifact).
+
 Usage:
-    python scripts/run_benchmarks.py                         # full suite -> BENCH_PR3.json
+    python scripts/run_benchmarks.py                         # full suite -> BENCH_PR4.json
     python scripts/run_benchmarks.py --select "micro or slot_engine"
-    python scripts/run_benchmarks.py --tag PR4               # -> BENCH_PR4.json
+    python scripts/run_benchmarks.py --tag PR5               # -> BENCH_PR5.json
     python scripts/run_benchmarks.py --output /tmp/bench.json
+    python scripts/run_benchmarks.py --compare BENCH_PR3.json --regression-threshold 1.3
 """
 
 from __future__ import annotations
@@ -31,7 +37,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 # Tag of the baseline currently being grown; bump per perf-relevant PR.
-DEFAULT_TAG = "PR3"
+DEFAULT_TAG = "PR4"
 
 
 def machine_info() -> dict:
@@ -83,6 +89,51 @@ def summarize(raw_json: Path) -> list[dict]:
     return rows
 
 
+def compare_baselines(
+    old: dict, new: dict, threshold: float
+) -> tuple[str, list[str]]:
+    """Delta table between two baseline dicts, plus the regressions found.
+
+    Benchmarks are matched by name; a positive delta means the new run is
+    slower.  A benchmark regresses when ``new_mean > threshold * old_mean``.
+    Entries present on only one side are listed but never count as
+    regressions (they are additions/removals, not slowdowns).
+    """
+    old_by_name = {row["name"]: row for row in old.get("benchmarks", [])}
+    new_by_name = {row["name"]: row for row in new.get("benchmarks", [])}
+    names = sorted(set(old_by_name) | set(new_by_name))
+    width = max((len(name) for name in names), default=4)
+    old_tag = old.get("tag") or "old"
+    lines = [
+        f"benchmark deltas vs {old_tag} (threshold: {threshold:.2f}x)",
+        f"{'name'.ljust(width)}  {'old mean':>12}  {'new mean':>12}  {'delta':>8}",
+    ]
+    regressions: list[str] = []
+    for name in names:
+        old_row = old_by_name.get(name) or {}
+        new_row = new_by_name.get(name) or {}
+        old_mean = old_row.get("mean_s")
+        new_mean = new_row.get("mean_s")
+        if old_mean is None and new_mean is None:
+            lines.append(f"{name.ljust(width)}  {'-':>12}  {'-':>12}  {'-':>8}")
+            continue
+        if old_mean is None:
+            lines.append(f"{name.ljust(width)}  {'-':>12}  {new_mean:>12.6f}  {'NEW':>8}")
+            continue
+        if new_mean is None:
+            lines.append(f"{name.ljust(width)}  {old_mean:>12.6f}  {'-':>12}  {'GONE':>8}")
+            continue
+        delta = (new_mean / old_mean - 1.0) * 100.0 if old_mean else float("inf")
+        marker = ""
+        if old_mean and new_mean > threshold * old_mean:
+            marker = "  REGRESSED"
+            regressions.append(name)
+        lines.append(
+            f"{name.ljust(width)}  {old_mean:>12.6f}  {new_mean:>12.6f}  {delta:>+7.1f}%{marker}"
+        )
+    return "\n".join(lines), regressions
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -101,7 +152,38 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="pytest -k expression selecting a benchmark subset (e.g. 'micro')",
     )
+    parser.add_argument(
+        "--compare",
+        type=Path,
+        default=None,
+        help="prior baseline JSON to diff against; prints a per-benchmark "
+        "delta table and exits non-zero on regressions beyond the threshold",
+    )
+    parser.add_argument(
+        "--regression-threshold",
+        type=float,
+        default=1.5,
+        help="mean-wall-clock ratio above which --compare reports a "
+        "regression (default: 1.5, i.e. 50%% slower)",
+    )
+    parser.add_argument(
+        "--compare-report",
+        type=Path,
+        default=None,
+        help="also write the --compare delta table to this file",
+    )
     args = parser.parse_args(argv)
+    if args.regression_threshold <= 0:
+        parser.error("--regression-threshold must be positive")
+    # Load the prior baseline up front: the default output file may be the
+    # very baseline being compared against (e.g. `--compare BENCH_PR4.json`
+    # with no --output), and the comparison must see its pre-run contents.
+    prior = None
+    if args.compare is not None:
+        try:
+            prior = json.loads(args.compare.read_text())
+        except OSError as exc:
+            parser.error(f"cannot read --compare baseline: {exc}")
     # An explicit --tag is always honored in the JSON; otherwise the default
     # tag names the file, and a --output-only run stays untagged so tooling
     # comparing baselines by tag never conflates it with a curated baseline.
@@ -126,6 +208,23 @@ def main(argv: list[str] | None = None) -> int:
     }
     args.output.write_text(json.dumps(baseline, indent=2) + "\n")
     print(f"wrote {len(benchmarks)} benchmark timings to {args.output}")
+
+    if prior is not None:
+        table, regressions = compare_baselines(
+            prior, baseline, args.regression_threshold
+        )
+        print()
+        print(table)
+        if args.compare_report is not None:
+            args.compare_report.write_text(table + "\n")
+            print(f"wrote delta table to {args.compare_report}")
+        if regressions:
+            print(
+                f"{len(regressions)} benchmark(s) regressed beyond "
+                f"{args.regression_threshold:.2f}x: {', '.join(regressions)}",
+                file=sys.stderr,
+            )
+            return exit_code or 2
     return exit_code
 
 

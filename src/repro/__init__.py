@@ -40,6 +40,7 @@ from .geometry import (
     uniform_random,
 )
 from .links import Link, LinkSet, sparsity
+from .state import NetworkState
 from .sinr import (
     Channel,
     ExplicitPower,
@@ -80,6 +81,8 @@ __all__ = [
     "Link",
     "LinkSet",
     "sparsity",
+    # state
+    "NetworkState",
     # sinr
     "SINRParameters",
     "UniformPower",

@@ -34,7 +34,13 @@ import numpy as np
 
 from ..constants import DEFAULT_CONSTANTS, AlgorithmConstants
 from ..links import Link, LinkSet, length_class_index
-from ..sinr import LinearPower, LinkArrayCache, SINRParameters
+from ..sinr import (
+    MAX_CACHED_CHANNEL_NODES,
+    LinearPower,
+    LinkArrayCache,
+    SINRParameters,
+)
+from ..state import NetworkState
 from .power_solver import is_power_controllable
 
 __all__ = ["DistrCapResult", "DistrCapSelector"]
@@ -99,6 +105,18 @@ class DistrCapSelector:
             return DistrCapResult(LinkSet(), 0, 0, True)
 
         linear = LinearPower.for_noise(self.params)
+        # One node-geometry store for the whole run: the node-to-node
+        # distance matrix is materialized once, and every phase slot's
+        # LinkArrayCache (over its oriented sub-universe) gathers its
+        # sender->receiver block from it - bitwise the hypot values it would
+        # otherwise recompute per slot.  Bounded like every other O(n^2)
+        # upgrade site: past MAX_CACHED_CHANNEL_NODES endpoints the slots
+        # fall back to computing their own small blocks.
+        state = NetworkState.from_links(link_list)
+        if len(state) <= MAX_CACHED_CHANNEL_NODES:
+            state.distance_matrix()
+        else:
+            state = None
         phases = self._partition_into_phases(link_list, link_rounds)
         tau = self.constants.distr_cap_tau
         gamma = self.constants.duality_gamma
@@ -117,12 +135,12 @@ class DistrCapSelector:
             if not eligible:
                 continue
             survivors = self._phase_slot(
-                eligible, selected, linear, rng, probability, tau / 4.0, forward=True
+                eligible, selected, linear, rng, probability, tau / 4.0, state, forward=True
             )
             if not survivors:
                 continue
             winners = self._phase_slot(
-                survivors, selected, linear, rng, 1.0, gamma * tau / 4.0, forward=False
+                survivors, selected, linear, rng, 1.0, gamma * tau / 4.0, state, forward=False
             )
             for link in winners:
                 if link.sender.id in used_nodes or link.receiver.id in used_nodes:
@@ -165,6 +183,7 @@ class DistrCapSelector:
         rng: np.random.Generator,
         probability: float,
         threshold: float,
+        state: NetworkState | None,
         *,
         forward: bool,
     ) -> list[Link]:
@@ -199,7 +218,7 @@ class DistrCapSelector:
             seen_senders.add(o.sender.id)
             transmitter_indices.append(index)
 
-        cache = LinkArrayCache(universe)
+        cache = LinkArrayCache(universe, state=state)
         offset = len(universe) - len(attempting)
         block = cache.affectance_block(
             transmitter_indices, np.arange(offset, len(universe)), linear, self.params

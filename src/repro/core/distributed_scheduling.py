@@ -42,6 +42,7 @@ from ..sinr import (
     Transmission,
 )
 from ..sinr.channel import ensure_positive_powers
+from ..state import NetworkState
 from .schedule import Schedule
 
 __all__ = ["DistributedScheduler", "DistributedScheduleResult"]
@@ -154,17 +155,15 @@ class DistributedScheduler:
         for contender in contenders:
             contender.power = power.power(contender.link)
         # The frame simulation runs on a fixed node universe (the link
-        # endpoints), so the channel's node-to-node distances are computed
-        # once and every frame's resolution just slices them (bounded: the
-        # cache holds an O(n^2) matrix).  With a cached channel each frame is
-        # resolved on index arrays (no Transmission/Reception marshalling).
-        endpoint_nodes: dict[int, object] = {}
-        for link in link_list:
-            endpoint_nodes.setdefault(link.sender.id, link.sender)
-            endpoint_nodes.setdefault(link.receiver.id, link.receiver)
+        # endpoints), so one NetworkState owns the node-to-node geometry,
+        # computed once; every frame's resolution gathers blocks from it
+        # through the channel's view (bounded: the store holds an O(n^2)
+        # matrix).  With a cached channel each frame is resolved on index
+        # arrays (no Transmission/Reception marshalling).
+        endpoint_state = NetworkState.from_links(link_list)
         channel: Channel = (
-            CachedChannel(self.params, endpoint_nodes.values())
-            if len(endpoint_nodes) <= MAX_CACHED_CHANNEL_NODES
+            CachedChannel(self.params, state=endpoint_state)
+            if len(endpoint_state) <= MAX_CACHED_CHANNEL_NODES
             else Channel(self.params)
         )
         sender_idx: np.ndarray | None = None

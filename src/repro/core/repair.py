@@ -31,6 +31,7 @@ from ..constants import DEFAULT_CONSTANTS, AlgorithmConstants
 from ..exceptions import ProtocolError
 from ..geometry import Node
 from ..sinr import ExplicitPower, SINRParameters
+from ..state import NetworkState
 from .bitree import BiTree
 from .init_tree import InitialTreeBuilder
 from .schedule import Schedule
@@ -106,6 +107,7 @@ class TreeRepairer:
         failed_ids: Iterable[int] = (),
         arrivals: Iterable[Node] = (),
         rng: np.random.Generator,
+        state: NetworkState | None = None,
     ) -> RepairResult:
         """Apply one churn event: remove failures, attach arrivals, re-splice.
 
@@ -123,6 +125,11 @@ class TreeRepairer:
             arrivals: newly deployed nodes to attach (may be empty).  Their
                 ids must be distinct from every current tree node's id.
             rng: source of randomness for the ``Init`` re-run.
+            state: the :class:`~repro.state.NetworkState` backing the
+                caller's channel caches, if any.  The same splice is then
+                applied to it - failures release their slots, arrivals patch
+                only their own rows - so the caller's derived matrices stay
+                current at O(damage) cost instead of being rebuilt.
 
         Raises:
             ProtocolError: if nothing is left to span, a failed id is
@@ -136,6 +143,18 @@ class TreeRepairer:
         clashes = set(arriving) & set(tree.nodes)
         if clashes:
             raise ProtocolError(f"arrival ids already present: {sorted(clashes)[:5]}")
+        if state is not None:
+            # Validate the state splice up front so it can never fail after
+            # the repair succeeded and leave the store half-spliced (the
+            # state may be shared wider than the tree).
+            absent = [node_id for node_id in sorted(failed) if node_id not in state]
+            if absent:
+                raise ProtocolError(f"failed ids not in the network state: {absent[:5]}")
+            occupied = [node_id for node_id in sorted(arriving) if node_id in state]
+            if occupied:
+                raise ProtocolError(
+                    f"arrival ids already live in the network state: {occupied[:5]}"
+                )
         survivors = {node_id: node for node_id, node in tree.nodes.items() if node_id not in failed}
         if not survivors and not arriving:
             raise ProtocolError("all nodes failed; nothing to repair")
@@ -175,6 +194,7 @@ class TreeRepairer:
             }
         if not orphans and not arriving:
             repaired = BiTree.from_parent_map(spanned, tree.root_id, parent, slots)
+            self._splice_state(state, failed, arriving)
             return RepairResult(
                 tree=repaired,
                 power=ExplicitPower(power_map, fallback=base_fallback),
@@ -210,6 +230,7 @@ class TreeRepairer:
         else:
             global_root = patch.tree.root_id
         repaired = BiTree.from_parent_map(spanned, global_root, parent, slots)
+        self._splice_state(state, failed, arriving)
         return RepairResult(
             tree=repaired,
             power=ExplicitPower(power_map, fallback=base_fallback),
@@ -219,3 +240,24 @@ class TreeRepairer:
             root_changed=global_root != tree.root_id,
             arrived=frozenset(arriving),
         )
+
+    @staticmethod
+    def _splice_state(
+        state: NetworkState | None,
+        failed: frozenset[int],
+        arriving: dict[int, Node],
+    ) -> None:
+        """Mirror a successful repair into the caller's geometry store.
+
+        Runs only after the repair itself succeeded, and the membership
+        preconditions were validated before anything mutated, so neither a
+        failed ``Init`` re-run nor a bad id can leave the state
+        half-spliced.  Failures are O(1) slot releases; arrivals patch only
+        their own matrix rows (O(k * capacity)).
+        """
+        if state is None:
+            return
+        if failed:
+            state.remove_nodes(sorted(failed))
+        if arriving:
+            state.add_nodes(arriving.values())

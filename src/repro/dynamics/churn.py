@@ -93,7 +93,12 @@ class ChurnProcess:
         return np.random.default_rng([_CHURN_STREAM, self.seed, int(epoch)])
 
     def events_for(
-        self, epoch: int, nodes: Sequence[Node], next_id: int
+        self,
+        epoch: int,
+        nodes: Sequence[Node],
+        next_id: int,
+        *,
+        xy: np.ndarray | None = None,
     ) -> ChurnEvent:
         """The churn event for ``epoch`` given the currently alive nodes.
 
@@ -101,6 +106,11 @@ class ChurnProcess:
             epoch: epoch index (part of the event's random identity).
             nodes: currently alive nodes.
             next_id: smallest id to assign to an arrival this epoch.
+            xy: the nodes' coordinates aligned with ``nodes`` (e.g. a
+                ``NetworkState`` view's ``xy``), sparing the per-epoch
+                rebuild of the coordinate array; derived from the node
+                objects when omitted.  The floats are the same either way,
+                so the drawn event is identical.
         """
         rng = self._epoch_rng(epoch)
         failed: list[int] = []
@@ -120,12 +130,21 @@ class ChurnProcess:
         if self.arrival_rate > 0.0:
             count = int(rng.poisson(self.arrival_rate))
             if count:
+                if xy is None:
+                    xy = np.array([[n.x, n.y] for n in nodes], dtype=float).reshape(-1, 2)
+                elif len(xy) != len(nodes):
+                    raise ConfigurationError(
+                        f"xy has {len(xy)} rows for {len(nodes)} nodes"
+                    )
                 region = self.region
                 if region is None:
-                    xy = np.array([[n.x, n.y] for n in nodes], dtype=float).reshape(-1, 2)
-                    region = bounding_rectangle(xy)
+                    region = bounding_rectangle(np.asarray(xy, dtype=float).reshape(-1, 2))
                 failed_set = set(failed)
-                surviving_xy = [(n.x, n.y) for n in nodes if n.id not in failed_set]
+                surviving_xy = [
+                    (float(x), float(y))
+                    for node, (x, y) in zip(nodes, xy)
+                    if node.id not in failed_set
+                ]
                 placed: list[tuple[float, float]] = list(surviving_xy)
                 for k in range(count):
                     for _ in range(32):  # rejection-sample a separated spot

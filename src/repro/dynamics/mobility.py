@@ -4,10 +4,13 @@ A :class:`MobilityModel` turns the static node set of the paper into a
 changing topology: given the current coordinate array it returns which nodes
 moved and where to.  The :class:`~repro.dynamics.simulator.DynamicSimulator`
 feeds those deltas into
-:meth:`~repro.sinr.arrays.NodeArrayCache.update_positions`, which patches the
-cached distance/attenuation matrices incrementally (O(k * n) for ``k`` movers
-instead of an O(n^2) rebuild) - the batch slot engine then keeps decoding
-against up-to-date matrices with no rebuild cost.
+:meth:`~repro.sinr.arrays.NodeArrayCache.update_positions`, which forwards
+them to the shared :class:`~repro.state.NetworkState`; the state patches the
+moved rows/columns of its distance/attenuation matrices incrementally
+(O(k * capacity) for ``k`` movers instead of an O(n^2) rebuild) and every
+view - the batch slot engine's channel cache, link caches built for
+feasibility checks - keeps decoding against up-to-date matrices with no
+rebuild cost.
 
 All models draw from the generator handed to :meth:`MobilityModel.move`, so a
 run is reproducible from the driver's seed.  Movement is reflected at the

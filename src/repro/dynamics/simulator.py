@@ -2,14 +2,22 @@
 
 The :class:`DynamicSimulator` runs the paper's machinery through *changing*
 conditions: every epoch it (1) moves nodes according to the scenario's
-mobility model - patching the channel's cached distance/attenuation matrices
-incrementally instead of rebuilding them - (2) applies the scenario's churn
-event through :meth:`repro.core.repair.TreeRepairer.integrate`, so the
-Init-tree and its schedule are incrementally repaired mid-run, and (3)
-measures the health of the structure: the fraction of schedule slot groups
-still SINR-feasible at the current positions, the fraction of tree links a
-physical channel replay actually delivers (under the scenario's gain model,
-with per-slot fading), and strong connectivity.
+mobility model, (2) applies the scenario's churn event through
+:meth:`repro.core.repair.TreeRepairer.integrate`, so the Init-tree and its
+schedule are incrementally repaired mid-run, and (3) measures the health of
+the structure: the fraction of schedule slot groups still SINR-feasible at
+the current positions, the fraction of tree links a physical channel replay
+actually delivers (under the scenario's gain model, with per-slot fading),
+and strong connectivity.
+
+All geometry flows through one :class:`~repro.state.NetworkState` that
+lives for the whole run: mobility patches the moved rows, churn splices are
+applied to the same store by ``integrate`` (failures release slots,
+arrivals patch only their own rows) and the channel's cache merely re-slots
+its view - every epoch costs O(damage), never an O(n^2) matrix rebuild.
+The per-epoch patch cost is reported in
+:attr:`EpochRecord.patch_cells` (matrix cells rewritten; a rebuild would
+cost ``capacity**2`` per materialized matrix).
 
 Everything is reproducible from the driver's seed: the build/repair
 randomness flows from one generator, gain-model fades are pure functions of
@@ -26,8 +34,9 @@ from ..constants import DEFAULT_CONSTANTS, AlgorithmConstants
 from ..core import BiTree, InitialTreeBuilder, Schedule, TreeRepairer
 from ..exceptions import ConfigurationError
 from ..geometry import Node
-from ..sinr import CachedChannel, ExplicitPower, SINRParameters, is_feasible
+from ..sinr import CachedChannel, ExplicitPower, LinkArrayCache, SINRParameters, is_feasible
 from ..sinr.power import PowerAssignment
+from ..state import NetworkState
 from .churn import ChurnProcess
 from .gain import GainModel
 from .mobility import MobilityModel
@@ -70,7 +79,13 @@ class DynamicScenario:
 
 @dataclass(frozen=True)
 class EpochRecord:
-    """Health and cost measurements for one epoch."""
+    """Health and cost measurements for one epoch.
+
+    ``patch_cells`` counts the derived-matrix cells the shared
+    :class:`~repro.state.NetworkState` rewrote for this epoch's moves and
+    churn - the O(damage) cost that replaced the former per-event O(n^2)
+    cache rebuild.
+    """
 
     epoch: int
     n_nodes: int
@@ -82,6 +97,7 @@ class EpochRecord:
     feasible_fraction: float
     link_success_rate: float
     strongly_connected: bool
+    patch_cells: int = 0
 
 
 @dataclass
@@ -189,6 +205,11 @@ class DynamicSimulator:
         scenario: the dynamics to apply.
         constants: protocol constants for ``Init`` and its repairs.
         seed: master seed of the run.
+        state: an existing :class:`~repro.state.NetworkState` containing
+            every node of ``nodes``; the run's channel caches then view it
+            (and churn splices are applied to it), so the caller can share
+            one geometry store with its own channels and inspect the patch
+            cost afterwards.  A private state is created when omitted.
     """
 
     def __init__(
@@ -198,8 +219,11 @@ class DynamicSimulator:
         scenario: DynamicScenario,
         constants: AlgorithmConstants = DEFAULT_CONSTANTS,
         seed: int = 0,
+        *,
+        state: NetworkState | None = None,
     ):
         self.nodes = list(nodes)
+        self.state = state
         # Construction/repair always run deterministic; evaluation honors the
         # scenario's gain model, falling back to one already set on the
         # caller's parameters (the way every other API accepts it).
@@ -223,13 +247,19 @@ class DynamicSimulator:
         outcome = builder.build(self.nodes, rng)
         tree, power = outcome.tree, outcome.power
         repairer = TreeRepairer(self.params, self.constants)
-        channel = CachedChannel(self.eval_params, list(tree.nodes.values()))
+        # One geometry store for the whole run: mobility patches rows, churn
+        # splices release/assign slots, and the channel's cache is a view of
+        # it re-anchored to the tree's node order - no per-event rebuilds.
+        node_list = list(tree.nodes.values())
+        state = self.state if self.state is not None else NetworkState(node_list)
+        channel = CachedChannel(self.eval_params, node_list, state=state)
         mobility, churn = self.scenario.mobility, self.scenario.churn
         if mobility is not None:
             mobility.begin_run(channel.cache.xy, rng, channel.cache.ids)
         next_id = max(tree.nodes) + 1
         global_slot = outcome.slots_used
         result = DynamicRunResult(initial_slots=outcome.slots_used)
+        cells_before = state.cells_patched
 
         for epoch in range(self.scenario.epochs):
             moved = 0
@@ -252,7 +282,9 @@ class DynamicSimulator:
             repair_slots = 0
             root_changed = False
             if churn is not None:
-                event = churn.events_for(epoch, list(tree.nodes.values()), next_id)
+                event = churn.events_for(
+                    epoch, list(tree.nodes.values()), next_id, xy=channel.cache.xy
+                )
                 if not event.is_empty:
                     repair = repairer.integrate(
                         tree,
@@ -260,6 +292,7 @@ class DynamicSimulator:
                         failed_ids=event.failed,
                         arrivals=event.arrivals,
                         rng=rng,
+                        state=state,
                     )
                     tree, power = repair.tree, repair.power
                     failed = tuple(sorted(repair.failed))
@@ -268,10 +301,12 @@ class DynamicSimulator:
                     root_changed = repair.root_changed
                     global_slot += repair.slots_used
                     next_id = max(next_id, max(tree.nodes) + 1)
-                    # The node universe changed: rebuild the channel cache and
-                    # re-anchor per-node mobility state to the new indexing
-                    # (id-keyed state survives; only arrivals start fresh).
-                    channel = CachedChannel(self.eval_params, list(tree.nodes.values()))
+                    # The state already absorbed the splice at O(damage);
+                    # re-anchor the channel's view to the repaired tree's
+                    # node order and the per-node mobility state to the new
+                    # indexing (id-keyed state survives; only arrivals start
+                    # fresh).
+                    channel.cache.sync(tree.nodes.values())
                     if mobility is not None:
                         mobility.reset(channel.cache.xy, rng, channel.cache.ids)
 
@@ -281,8 +316,15 @@ class DynamicSimulator:
                 for slot_value in schedule.used_slots()
             ]
             if groups:
+                # Per-group link caches view the run's shared state, so the
+                # feasibility checks gather from the one distance store the
+                # replay materialized instead of recomputing coordinates.
                 feasible = sum(
-                    1 for group in groups if is_feasible(group, power, self.eval_params)
+                    1
+                    for group in groups
+                    if is_feasible(
+                        LinkArrayCache(group, state=state), power, self.eval_params
+                    )
                 )
                 feasible_fraction = feasible / len(groups)
             else:
@@ -303,8 +345,10 @@ class DynamicSimulator:
                     feasible_fraction=feasible_fraction,
                     link_success_rate=successes / total if total else 1.0,
                     strongly_connected=tree.is_strongly_connected(),
+                    patch_cells=state.cells_patched - cells_before,
                 )
             )
+            cells_before = state.cells_patched
 
         result.tree = tree
         result.power = power

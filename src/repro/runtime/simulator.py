@@ -12,10 +12,12 @@ Two slot engines implement that contract:
   :meth:`~repro.runtime.agent.NodeAgent.act_batch`, transmitter/listener
   indices and powers are collected into arrays, and the channel is resolved
   through :meth:`~repro.sinr.channel.CachedChannel.resolve_indices` in one
-  vectorized pass; :class:`~repro.sinr.Reception` objects are built only for
-  the listeners that decode.  Results are bit-for-bit identical to the seed
-  engine (the decode arithmetic is shared and agents consume the same
-  randomness either way).
+  vectorized pass that gathers its attenuation/fade blocks from the
+  channel's backing :class:`~repro.state.NetworkState`;
+  :class:`~repro.sinr.Reception` objects are built only for the listeners
+  that decode.  Results are bit-for-bit identical to the seed engine (the
+  decode arithmetic is shared and agents consume the same randomness either
+  way).
 * ``engine="legacy"`` - the seed per-object path (``act`` returning
   :class:`Transmission`, ``Channel.resolve`` over node objects), kept as the
   parity oracle and benchmark baseline.
@@ -84,9 +86,10 @@ class Simulator:
             raise ValueError(f"unknown trace_level {trace_level!r}, expected one of {_TRACE_LEVELS}")
         self.agents: list[NodeAgent] = list(agents)
         # The agent set is fixed for the simulator's lifetime, so a plain
-        # channel is upgraded to one with cached node-to-node distances
-        # (bounded: the cache holds an O(n^2) matrix); subclassed channels
-        # are left untouched.
+        # channel is upgraded to one viewing a NetworkState over the agents'
+        # nodes - the store that owns the O(n^2) distance/attenuation
+        # matrices every slot's decode gathers from (bounded by
+        # MAX_CACHED_CHANNEL_NODES); subclassed channels are left untouched.
         if type(channel) is Channel and len(self.agents) <= MAX_CACHED_CHANNEL_NODES:
             channel = CachedChannel(channel.params, [agent.node for agent in self.agents])
         self.channel = channel

@@ -7,7 +7,11 @@ the hot paths of the paper's algorithms - the greedy capacity loop, first-fit
 scheduling, ``Distr-Cap`` phases and the slotted channel simulation - those
 rebuilds, not the numpy arithmetic, dominate the running time.
 
-This module provides the shared engine behind all of them:
+This module provides the shared engine behind all of them.  Since the
+network-state refactor the caches are *views* over one
+:class:`~repro.state.NetworkState` - the capacity-managed store that owns
+the position/distance/attenuation/fade matrices - rather than three private
+matrix copies:
 
 * :class:`LinkArrayCache` - a struct-of-arrays view of a fixed link universe
   (sender/receiver coordinates, sender ids, lengths) computed **once**, with
@@ -15,8 +19,13 @@ This module provides the shared engine behind all of them:
   per-assignment power vectors, link costs, pairwise affectance matrices, raw
   SINR vectors and the power-control gain matrix.  Any subset of the universe
   is served by integer-index slicing of the cached full-size structures.
-* :class:`NodeArrayCache` - the analogous view of a fixed node universe, used
-  by the cached SINR channel (``repro.sinr.channel.CachedChannel``).
+  Each link maps to a (sender slot, receiver slot) pair of its backing
+  state, so several link caches can share one node-distance store.
+* :class:`NodeArrayCache` - the dense view of a node universe, used by the
+  cached SINR channel (``repro.sinr.channel.CachedChannel``).  It holds an
+  array of live state slots; membership changes (churn) are an O(n) re-slot
+  of the view while the state patches only the damaged rows - never an
+  O(n^2) rebuild per event.
 * :class:`AffectanceAccumulator` - an incremental row accumulator over a
   pairwise matrix, turning the "recompute the full O(m^2) affectance matrix
   after every accepted link" pattern of the greedy loops into O(m) updates
@@ -40,8 +49,9 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from ..geometry import Node, Point
+from ..geometry import Node
 from ..links import Link
+from ..state import NetworkState, attenuation_from_distances, pairwise_distances
 from .parameters import SINRParameters
 from .power import PowerAssignment
 
@@ -167,21 +177,47 @@ class LinkArrayCache(Sequence):
     derived array - distances, powers, costs, affectance matrices, SINR
     vectors, gain matrices - from a lazily computed, reusable store.  Subsets
     are addressed by integer index into the universe.
+
+    Args:
+        links: the link universe, in index order.
+        state: a :class:`~repro.state.NetworkState` containing every link
+            endpoint, to share one node-geometry store with other caches.
+            The caller guarantees the links were built from the state's
+            current node positions *and* that the cache does not outlive a
+            mutation of the state: coordinates and link lengths are
+            snapshotted at construction, so a later ``move_nodes`` would
+            make gathered distances disagree with them - build a fresh
+            cache per topology version (the dynamics driver's per-epoch
+            caches do exactly that).  When omitted, a private state over the
+            unique endpoints is created lazily on first access of
+            :attr:`state`, so standalone caches keep the seed construction
+            cost.  Either way, if the state's node-distance matrix is
+            materialized, the link-distance matrix is gathered from it
+            instead of being recomputed - bitwise the same values, since
+            both run the shared ``hypot`` kernel on the same coordinates.
     """
 
-    def __init__(self, links: Iterable[Link]):
+    def __init__(self, links: Iterable[Link], *, state: NetworkState | None = None):
         self._links: list[Link] = list(links)
         m = len(self._links)
-        if m:
+        self._state = state
+        self.sender_slots: np.ndarray | None = None
+        self.receiver_slots: np.ndarray | None = None
+        if state is not None:
+            self._map_slots(state)
+        if m == 0:
+            self.sender_xy = _freeze(np.empty((0, 2), dtype=float))
+            self.receiver_xy = _freeze(np.empty((0, 2), dtype=float))
+        elif state is not None:
+            self.sender_xy = _freeze(state.xy[self.sender_slots])
+            self.receiver_xy = _freeze(state.xy[self.receiver_slots])
+        else:
             self.sender_xy = _freeze(
                 np.array([[l.sender.x, l.sender.y] for l in self._links], dtype=float)
             )
             self.receiver_xy = _freeze(
                 np.array([[l.receiver.x, l.receiver.y] for l in self._links], dtype=float)
             )
-        else:
-            self.sender_xy = _freeze(np.empty((0, 2), dtype=float))
-            self.receiver_xy = _freeze(np.empty((0, 2), dtype=float))
         self.sender_ids = _freeze(
             np.array([l.sender.id for l in self._links], dtype=np.int64)
         )
@@ -212,6 +248,33 @@ class LinkArrayCache(Sequence):
     def links(self) -> tuple[Link, ...]:
         """The link universe, in index order."""
         return tuple(self._links)
+
+    def _map_slots(self, state: NetworkState) -> None:
+        """Resolve each link's endpoints to state slots (ValueError if absent)."""
+        try:
+            self.sender_slots = _freeze(
+                np.array([state.slot_of_id(l.sender.id) for l in self._links], dtype=np.intp)
+            )
+            self.receiver_slots = _freeze(
+                np.array([state.slot_of_id(l.receiver.id) for l in self._links], dtype=np.intp)
+            )
+        except KeyError as exc:
+            raise ValueError(
+                f"link endpoint {exc.args[0]!r} is not in the shared NetworkState"
+            ) from exc
+
+    @property
+    def state(self) -> NetworkState:
+        """The node-geometry store backing this cache.
+
+        A private state over the unique link endpoints is created on first
+        access when none was shared at construction, so standalone caches
+        pay for the node store only if someone actually asks for it.
+        """
+        if self._state is None:
+            self._state = NetworkState.from_links(self._links)
+            self._map_slots(self._state)
+        return self._state
 
     def index_of(self, link: Link) -> int:
         """Universe index of a link, keyed by its (sender id, receiver id)."""
@@ -252,10 +315,24 @@ class LinkArrayCache(Sequence):
         return model.fade(row_tx, col_rx), model.fade_pairs(col_tx, col_rx)
 
     def distance_matrix(self) -> np.ndarray:
-        """``D[i, j]`` = distance from link ``i``'s sender to link ``j``'s receiver."""
+        """``D[i, j]`` = distance from link ``i``'s sender to link ``j``'s receiver.
+
+        Gathered from the backing state's node-distance matrix when that is
+        already materialized (several caches then share one O(n^2) store);
+        otherwise computed directly from the endpoint coordinates.  Both
+        paths evaluate the same ``hypot`` kernel on the same floats, so the
+        results are bitwise identical.
+        """
         if self._distances is None:
-            diff = self.sender_xy[:, None, :] - self.receiver_xy[None, :, :]
-            self._distances = _freeze(np.hypot(diff[..., 0], diff[..., 1]))
+            if self._state is not None and self._state.has_distances:
+                full = self._state.distance_matrix()
+                self._distances = _freeze(
+                    full[np.ix_(self.sender_slots, self.receiver_slots)]
+                )
+            else:
+                self._distances = _freeze(
+                    pairwise_distances(self.sender_xy, self.receiver_xy)
+                )
         return self._distances
 
     def same_sender_mask(self) -> np.ndarray:
@@ -334,9 +411,12 @@ class LinkArrayCache(Sequence):
             return np.zeros((rows.size, cols.size), dtype=float)
         if self._distances is not None:
             dist = self._distances[np.ix_(rows, cols)]
+        elif self._state is not None and self._state.has_distances:
+            dist = self._state.distance_matrix()[
+                np.ix_(self.sender_slots[rows], self.receiver_slots[cols])
+            ]
         else:
-            diff = self.sender_xy[rows][:, None, :] - self.receiver_xy[cols][None, :, :]
-            dist = np.hypot(diff[..., 0], diff[..., 1])
+            dist = pairwise_distances(self.sender_xy[rows], self.receiver_xy[cols])
         zero_mask = (
             self.sender_ids[rows][:, None] == self.sender_ids[cols][None, :]
         ) | (rows[:, None] == cols[None, :])
@@ -404,9 +484,11 @@ class LinkArrayCache(Sequence):
         gains = self._gain.get(params)
         if gains is None:
             dist = self.distance_matrix().T
+            # The shared d**alpha kernel stores colocated pairs as 0.0, so
+            # the reciprocal is inf there - the same values the seed's
+            # np.where(dist <= 0, inf, 1 / max(dist, 1e-300)**alpha) yields.
             with np.errstate(divide="ignore"):
-                raw = 1.0 / np.maximum(dist, 1e-300) ** params.alpha
-            gains = np.where(dist <= 0, np.inf, raw)
+                gains = 1.0 / attenuation_from_distances(dist, params.alpha)
             model = params.effective_gain_model
             if model is not None:
                 # fade(sender_ids, receiver_ids)[j, i] is sender j's fade at
@@ -436,26 +518,86 @@ class LinkArrayCache(Sequence):
 
 
 class NodeArrayCache:
-    """Struct-of-arrays view of a fixed node universe.
+    """Dense view of a node universe over a shared :class:`NetworkState`.
 
-    Used by the cached channel: the node-to-node distance matrix is computed
-    once, and every slot's resolution slices it by transmitter/listener index.
+    The view maps its dense indices ``0..n-1`` (the indexing every slot
+    engine and channel uses) to live slots of the backing state, which owns
+    the O(n^2) distance/attenuation/fade matrices.  Whole-universe matrices
+    are served as zero-copy basic slices while the view is *contiguous*
+    (slots ``0..n-1``, the static common case) and as cached gathers
+    otherwise; the slot-decode hot paths use the block accessors, which
+    gather exactly the requested rectangle straight from the state.
+
+    Membership changes flow through :meth:`add_nodes`/:meth:`remove_ids`/
+    :meth:`sync`: the state patches only the damaged rows (O(k * capacity))
+    and the view re-slots itself in O(n) - sustained churn never pays an
+    O(n^2) rebuild per event.
+
+    Args:
+        nodes: the node universe, in dense-index order.  When ``state`` is
+            given they must already be live in it; when omitted together
+            with ``state``, the view covers the state's live nodes in
+            insertion order.
+        state: an existing :class:`~repro.state.NetworkState` to view,
+            shared with other caches/channels; a private one is created from
+            ``nodes`` when omitted.
     """
 
-    def __init__(self, nodes: Iterable):
-        self.nodes = list(nodes)
-        if self.nodes:
-            self.xy = _freeze(np.array([[n.x, n.y] for n in self.nodes], dtype=float))
+    def __init__(
+        self,
+        nodes: Iterable[Node] | None = None,
+        *,
+        state: NetworkState | None = None,
+    ):
+        if state is None:
+            state = NetworkState(() if nodes is None else nodes)
+            nodes = None
+        self._state = state
+        if nodes is None:
+            slots = state.live_slots()
         else:
-            self.xy = _freeze(np.empty((0, 2), dtype=float))
-        self.ids = _freeze(np.array([n.id for n in self.nodes], dtype=np.int64))
-        self._index_by_id = {node.id: i for i, node in enumerate(self.nodes)}
-        self._distances: np.ndarray | None = None
-        self._attenuation: dict[float, np.ndarray] = {}
-        self._fades: dict[object, np.ndarray | None] = {}
+            try:
+                slots = np.array(
+                    [state.slot_of_id(node.id) for node in nodes], dtype=np.intp
+                )
+            except KeyError as exc:
+                raise ValueError(
+                    f"node {exc.args[0]!r} is not in the shared NetworkState"
+                ) from exc
+        self._set_slots(slots)
+
+    def _set_slots(self, slots: np.ndarray) -> None:
+        """(Re)anchor the view: dense index ``k`` maps to state slot ``slots[k]``."""
+        self._slots = _freeze(np.asarray(slots, dtype=np.intp).copy())
+        self.ids = _freeze(self._state.ids[self._slots].astype(np.int64))
+        self._index_by_id = {int(node_id): k for k, node_id in enumerate(self.ids)}
+        self._contiguous = bool(
+            np.array_equal(self._slots, np.arange(self._slots.size, dtype=np.intp))
+        )
+        # View-level caches of whole-universe structures: (base-or-version,
+        # matrix) entries resolved by _dense_view.
+        self._xy_entry: tuple | None = None
+        self._dense_entries: dict[object, tuple] = {}
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def state(self) -> NetworkState:
+        """The geometry/gain store backing this view."""
+        return self._state
+
+    @property
+    def slots(self) -> np.ndarray:
+        """State slot of each dense index."""
+        return self._slots
+
+    @property
+    def nodes(self) -> list[Node]:
+        """The node universe, in dense-index order (current positions)."""
+        return [self._state.node_at(slot) for slot in self._slots.tolist()]
 
     def __len__(self) -> int:
-        return len(self.nodes)
+        return self._slots.size
 
     def __contains__(self, node_id: int) -> bool:
         return node_id in self._index_by_id
@@ -464,83 +606,165 @@ class NodeArrayCache:
         """Universe index of the node with the given id (KeyError if absent)."""
         return self._index_by_id[node_id]
 
+    def add_nodes(self, nodes: Iterable[Node]) -> np.ndarray:
+        """Add brand-new nodes to the shared state and append them to the view.
+
+        The state patches only the new rows/columns (O(k * capacity),
+        amortized growth included); the view extends its slot map.  Returns
+        the assigned state slots.
+        """
+        slots = self._state.add_nodes(nodes)
+        if slots.size:
+            self._set_slots(np.concatenate([self._slots, slots]))
+        return slots
+
+    def remove_ids(self, node_ids: Iterable[int]) -> None:
+        """Remove nodes from the shared state and drop them from the view (O(n))."""
+        id_list = [int(node_id) for node_id in node_ids]
+        if not id_list:
+            return
+        self._state.remove_nodes(id_list)
+        keep = ~np.isin(self.ids, np.array(id_list, dtype=np.int64))
+        self._set_slots(self._slots[keep])
+
+    def sync(self, nodes: Iterable[Node]) -> None:
+        """Re-anchor the view to ``nodes`` (all must be live in the state).
+
+        Used after a churn event applied directly to the state (e.g. by
+        ``TreeRepairer.integrate``): the view adopts the given dense order -
+        typically the repaired tree's node order - in O(n) bookkeeping.
+        """
+        self._set_slots(
+            np.array([self._state.slot_of_id(node.id) for node in nodes], dtype=np.intp)
+        )
+
+    # -- whole-universe structures -------------------------------------------
+
+    @property
+    def xy(self) -> np.ndarray:
+        """``(n, 2)`` coordinates in dense order (always current)."""
+        base = self._state.xy
+        entry = self._xy_entry
+        if self._contiguous:
+            # A basic slice stays valid across in-place patches; only a
+            # capacity growth (new base array) invalidates it.
+            if entry is None or entry[0] is not base:
+                entry = (base, base[: self._slots.size])
+                self._xy_entry = entry
+        else:
+            if entry is None or entry[0] != self._state.version:
+                entry = (self._state.version, _freeze(base[self._slots]))
+                self._xy_entry = entry
+        return entry[1]
+
+    def _dense_view(self, key: object, base: np.ndarray) -> np.ndarray:
+        """Whole-universe (n, n) slice of a capacity-sized state matrix.
+
+        Contiguous views are zero-copy basic slices (valid across in-place
+        patches); non-contiguous views are gathered copies refreshed when
+        the state's version moves.
+        """
+        n = self._slots.size
+        entry = self._dense_entries.get(key)
+        if self._contiguous:
+            if entry is None or entry[0] is not base:
+                entry = (base, base[:n, :n])
+                self._dense_entries[key] = entry
+        else:
+            if entry is None or entry[0] != self._state.version:
+                entry = (
+                    self._state.version,
+                    _freeze(base[np.ix_(self._slots, self._slots)]),
+                )
+                self._dense_entries[key] = entry
+        return entry[1]
+
     def distance_matrix(self) -> np.ndarray:
-        """Full node-to-node distance matrix, computed once."""
-        if self._distances is None:
-            diff = self.xy[:, None, :] - self.xy[None, :, :]
-            self._distances = _freeze(np.hypot(diff[..., 0], diff[..., 1]))
-        return self._distances
+        """Full node-to-node distance matrix, in dense order."""
+        return self._dense_view("dist", self._state.distance_matrix())
 
     def attenuation_matrix(self, alpha: float) -> np.ndarray:
-        """Path-loss denominator ``max(d, 1e-300)**alpha``, computed once per alpha.
+        """Path-loss denominator ``max(d, 1e-300)**alpha``, in dense order.
 
-        Entries with ``d <= 0`` are stored as ``0.0`` so that dividing a
-        positive power by the matrix yields ``inf`` there - exactly the
-        ``np.where(dist <= 0, np.inf, ...)`` of the uncached decode.  The
-        per-slot SINR decode then needs only a slice and a divide instead of
-        a float ``**alpha`` per entry.
+        Entries with ``d <= 0`` are ``0.0`` (shared-kernel convention) so
+        that dividing a positive power by the matrix yields ``inf`` there -
+        exactly the ``np.where(dist <= 0, np.inf, ...)`` of the uncached
+        decode.
         """
-        att = self._attenuation.get(alpha)
-        if att is None:
-            dist = self.distance_matrix()
-            att = np.maximum(dist, 1e-300) ** alpha
-            att[dist <= 0] = 0.0
-            self._attenuation[alpha] = _freeze(att)
-        return att
+        return self._dense_view(("att", alpha), self._state.attenuation_matrix(alpha))
 
     def fade_matrix(self, model) -> np.ndarray | None:
-        """Full-universe fade matrix of a *slot-invariant* gain model, cached.
+        """Full-universe fade matrix of a *slot-invariant* gain model.
 
         Static fades (e.g. log-normal shadowing) are pure functions of node
-        ids - positions never enter - so the matrix is hashed once per model
-        and merely sliced on every slot, and it stays valid across
-        :meth:`update_positions`.  ``None`` (unit gain) is cached as such.
+        ids - positions never enter - so the state hashes the matrix once
+        per model, patches only new rows under churn, and the view merely
+        slices it.  ``None`` (unit gain) stays ``None``.
         """
-        if model not in self._fades:
-            fade = model.fade(self.ids, self.ids, None)
-            self._fades[model] = None if fade is None else _freeze(fade)
-        return self._fades[model]
+        base = self._state.fade_matrix(model)
+        if base is None:
+            return None
+        return self._dense_view(("fade", model), base)
+
+    # -- block accessors (slot-decode hot paths) -----------------------------
+
+    def _slot_rows_cols(
+        self, rows: np.ndarray, cols: np.ndarray | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        r = self._slots[np.asarray(rows, dtype=np.intp)]
+        c = self._slots if cols is None else self._slots[np.asarray(cols, dtype=np.intp)]
+        return r, c
+
+    def distance_block(
+        self, rows: np.ndarray, cols: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Distance rectangle ``rows x cols`` (``cols=None`` = whole view).
+
+        Gathered straight from the state matrix - O(|rows| * |cols|), no
+        dense (n, n) copy even when the view is non-contiguous.
+        """
+        r, c = self._slot_rows_cols(rows, cols)
+        return self._state.distance_matrix()[np.ix_(r, c)]
+
+    def attenuation_block(
+        self, alpha: float, rows: np.ndarray, cols: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Attenuation rectangle ``rows x cols`` (``cols=None`` = whole view)."""
+        r, c = self._slot_rows_cols(rows, cols)
+        return self._state.attenuation_matrix(alpha)[np.ix_(r, c)]
+
+    def fade_block(
+        self, model, rows: np.ndarray, cols: np.ndarray | None = None
+    ) -> np.ndarray | None:
+        """Slot-invariant fade rectangle, or ``None`` for unit gain."""
+        base = self._state.fade_matrix(model)
+        if base is None:
+            return None
+        r, c = self._slot_rows_cols(rows, cols)
+        return base[np.ix_(r, c)]
+
+    # -- mutation ------------------------------------------------------------
 
     def update_positions(self, indices, new_xy) -> None:
-        """Move a subset of nodes, patching cached matrices incrementally.
+        """Move a subset of nodes, patching the state matrices incrementally.
 
         The mobility models of ``repro.dynamics`` call this between slots:
         instead of rebuilding the O(n^2) distance and attenuation matrices
-        from scratch, only the rows and columns of the ``k`` moved nodes are
-        recomputed - O(k * n) work per step, bit-for-bit identical to a full
-        rebuild from the new coordinates (``hypot`` is sign-insensitive, so
-        mirroring rows into columns is exact).  Node objects are refreshed in
-        place so ``self.nodes`` always reflects the current positions.
+        from scratch, the state recomputes only the rows and columns of the
+        ``k`` moved nodes - O(k * capacity) work per step, bit-for-bit
+        identical to a full rebuild from the new coordinates (``hypot`` is
+        sign-insensitive, so mirroring rows into columns is exact).  Node
+        objects are refreshed in the state, so :attr:`nodes` always reflects
+        the current positions.
 
         Args:
-            indices: universe indices of the nodes that moved.
+            indices: dense view indices of the nodes that moved.
             new_xy: their new coordinates, shape ``(len(indices), 2)``.
         """
         idx = np.asarray(indices, dtype=np.intp)
         if idx.size == 0:
             return
-        coords = np.asarray(new_xy, dtype=float).reshape(idx.size, 2)
-        self.xy.flags.writeable = True
-        self.xy[idx] = coords
-        self.xy.flags.writeable = False
-        for i, (x, y) in zip(idx.tolist(), coords.tolist()):
-            self.nodes[i] = Node(id=self.nodes[i].id, position=Point(x, y))
-        if self._distances is None:
-            return
-        diff = self.xy[idx][:, None, :] - self.xy[None, :, :]
-        rows = np.hypot(diff[..., 0], diff[..., 1])
-        dist = self._distances
-        dist.flags.writeable = True
-        dist[idx, :] = rows
-        dist[:, idx] = rows.T
-        dist.flags.writeable = False
-        for alpha, att in self._attenuation.items():
-            att_rows = np.maximum(rows, 1e-300) ** alpha
-            att_rows[rows <= 0] = 0.0
-            att.flags.writeable = True
-            att[idx, :] = att_rows
-            att[:, idx] = att_rows.T
-            att.flags.writeable = False
+        self._state.move_nodes(self._slots[idx], new_xy)
 
 
 class AffectanceAccumulator:

@@ -27,6 +27,7 @@ from typing import Any, Iterable, Mapping, Sequence
 import numpy as np
 
 from ..geometry import Node
+from ..state import NetworkState
 from .arrays import NodeArrayCache
 from .parameters import SINRParameters
 
@@ -275,10 +276,9 @@ class Channel:
         if model is None:
             return None
         if model.slot_invariant:
-            full = cache.fade_matrix(model)
-            if full is None:
-                return None
-            return full[tx] if rx is None else full[np.ix_(tx, rx)]
+            # Served from the shared state's per-model fade matrix - hashed
+            # once, patched under churn, gathered per slot.
+            return cache.fade_block(model, tx, rx)
         rx_ids = cache.ids if rx is None else cache.ids[rx]
         return model.fade(cache.ids[tx], rx_ids, slot)
 
@@ -313,11 +313,11 @@ class Channel:
                 np.zeros(rx.size, dtype=float),
                 np.zeros(rx.size, dtype=bool),
             )
-        # The cache stores max(d, 1e-300)**alpha with colocated pairs zeroed,
-        # so the slice-and-divide below reproduces the uncached
+        # The state stores max(d, 1e-300)**alpha with colocated pairs zeroed,
+        # so the gather-and-divide below reproduces the uncached
         # `np.where(dist <= 0, inf, powers / max(dist, 1e-300)**alpha)`
         # bit-for-bit without a float power per slot.
-        attenuation = cache.attenuation_matrix(self.params.alpha)[np.ix_(tx, rx)]
+        attenuation = cache.attenuation_block(self.params.alpha, tx, rx)
         with np.errstate(divide="ignore"):
             received = np.asarray(powers, dtype=float)[:, None] / attenuation
         fade = self._index_fade(cache, tx, rx, slot)
@@ -349,7 +349,7 @@ class Channel:
                 np.zeros(len(cache), dtype=float),
                 np.zeros(len(cache), dtype=bool),
             )
-        attenuation = cache.attenuation_matrix(self.params.alpha)[tx]
+        attenuation = cache.attenuation_block(self.params.alpha, tx)
         with np.errstate(divide="ignore"):
             received = np.asarray(powers, dtype=float)[:, None] / attenuation
         fade = self._index_fade(cache, tx, None, slot)
@@ -443,6 +443,11 @@ class CachedChannel(Channel):
             different parameters (e.g. one per gain model under study) can
             then reuse one set of O(n^2) distance/attenuation matrices.
             When given, ``nodes`` is ignored.
+        state: an existing :class:`~repro.state.NetworkState` to view - the
+            channel's cache then shares the state's matrices with every
+            other view of it, and topology changes applied to the state
+            (churn splices, moves) are visible to the channel without any
+            rebuild.  Mutually exclusive with ``cache``.
     """
 
     def __init__(
@@ -450,12 +455,21 @@ class CachedChannel(Channel):
         params: SINRParameters,
         nodes: Iterable[Node] | None = None,
         cache: NodeArrayCache | None = None,
+        *,
+        state: NetworkState | None = None,
     ):
         super().__init__(params)
         if cache is None:
-            if nodes is None:
-                raise ValueError("CachedChannel needs a node universe: pass nodes or cache")
-            cache = NodeArrayCache(nodes)
+            if state is not None:
+                cache = NodeArrayCache(nodes, state=state)
+            elif nodes is None:
+                raise ValueError(
+                    "CachedChannel needs a node universe: pass nodes, cache or state"
+                )
+            else:
+                cache = NodeArrayCache(nodes)
+        elif state is not None and cache.state is not state:
+            raise ValueError("pass either cache or state, not both")
         self.cache = cache
 
     def _distances(
@@ -470,7 +484,7 @@ class CachedChannel(Channel):
             )
         except KeyError:
             return super()._distances(transmissions, active_listeners)
-        return self.cache.distance_matrix()[np.ix_(tx_idx, rx_idx)]
+        return self.cache.distance_block(tx_idx, rx_idx)
 
     def resolve_indices(
         self,
@@ -503,4 +517,4 @@ class CachedChannel(Channel):
             idx = np.array([self.cache.index_of_id(n.id) for n in nodes], dtype=np.intp)
         except KeyError:
             return super()._distances_to_node(receiver, nodes)
-        return self.cache.distance_matrix()[idx, rx]
+        return self.cache.distance_block(idx, np.array([rx], dtype=np.intp))[:, 0]

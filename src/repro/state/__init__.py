@@ -1,0 +1,14 @@
+"""Network-state layer: one capacity-managed geometry/gain store.
+
+This package sits between the geometry primitives and the SINR caches in
+the layer stack (see ``ARCHITECTURE.md``): a :class:`NetworkState` owns the
+over-allocated position/distance/attenuation/fade matrices for one node
+universe and supports O(damage) incremental add/remove/move; the caches of
+``repro.sinr.arrays`` are views over it, and the dynamics drivers patch it
+instead of rebuilding per event.
+"""
+
+from .kernels import attenuation_from_distances, pairwise_distances
+from .network import NetworkState
+
+__all__ = ["NetworkState", "attenuation_from_distances", "pairwise_distances"]

@@ -1,0 +1,49 @@
+"""Shared array kernels of the network-state layer.
+
+These are the *single* implementations of the geometry/path-loss formulas
+that used to be duplicated across the caches: ``NodeArrayCache`` and
+``LinkArrayCache`` each computed their own ``hypot`` distance matrices, and
+the ``d**alpha`` path-loss denominator appeared independently in the node
+attenuation cache, the link gain matrix and the slot decode.  Every
+``NetworkState``-derived matrix and every cache now routes through the two
+functions below, so the patched (incremental) and rebuilt (from-scratch)
+code paths are bit-for-bit identical by construction - they literally run
+the same expressions on the same floats.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["pairwise_distances", "attenuation_from_distances"]
+
+
+def pairwise_distances(xy_a: np.ndarray, xy_b: np.ndarray | None = None) -> np.ndarray:
+    """Euclidean distance matrix ``D[i, j] = |xy_a[i] - xy_b[j]|``.
+
+    ``xy_b=None`` means ``xy_a`` against itself.  This is the one ``hypot``
+    expression behind every cached distance structure; the incremental
+    row/column patches of :class:`~repro.state.NetworkState` evaluate the
+    same expression on row blocks, so a patched matrix is bitwise equal to a
+    rebuilt one (``hypot`` is symmetric in the sign of its arguments, which
+    makes mirroring a row block into the columns exact).
+    """
+    if xy_b is None:
+        xy_b = xy_a
+    diff = xy_a[:, None, :] - xy_b[None, :, :]
+    return np.hypot(diff[..., 0], diff[..., 1])
+
+
+def attenuation_from_distances(dist: np.ndarray, alpha: float) -> np.ndarray:
+    """Path-loss denominator ``max(d, 1e-300)**alpha`` with colocated pairs zeroed.
+
+    Entries with ``d <= 0`` are stored as ``0.0`` so that dividing a positive
+    power by the result yields ``inf`` there - exactly the
+    ``np.where(dist <= 0, np.inf, ...)`` convention of the uncached SINR
+    kernels.  This is the shared ``d**alpha`` kernel: the node attenuation
+    cache divides powers by it and the link gain matrix takes its
+    reciprocal, so both agree with the seed arithmetic bit-for-bit.
+    """
+    att = np.maximum(dist, 1e-300) ** alpha
+    att[dist <= 0] = 0.0
+    return att

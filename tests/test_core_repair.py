@@ -7,8 +7,9 @@ import pytest
 
 from repro.core import InitialTreeBuilder, TreeRepairer
 from repro.exceptions import ProtocolError
-from repro.geometry import uniform_random
+from repro.geometry import Node, Point, uniform_random
 from repro.sinr import SINRParameters
+from repro.state import NetworkState
 
 
 @pytest.fixture(scope="module")
@@ -95,6 +96,51 @@ class TestTreeRepairer:
         params, _, outcome = built_tree
         with pytest.raises(ProtocolError):
             TreeRepairer(params).repair(outcome.tree, outcome.power, list(outcome.tree.nodes), rng)
+
+    def test_integrate_splices_shared_state(self, built_tree, rng):
+        params, _, outcome = built_tree
+        tree_nodes = list(outcome.tree.nodes.values())
+        state = NetworkState(tree_nodes)
+        state.distance_matrix()
+        victims = _leaves(outcome.tree)[:2]
+        arrival = Node(id=max(outcome.tree.nodes) + 1, position=Point(3.0, 4.0))
+        result = TreeRepairer(params).integrate(
+            outcome.tree, outcome.power, failed_ids=victims, arrivals=[arrival],
+            rng=rng, state=state,
+        )
+        assert set(int(i) for i in state.ids[state.live_slots()]) == set(result.tree.nodes)
+        # The surviving block is still bitwise equal to a fresh rebuild.
+        live = state.live_slots()
+        fresh = NetworkState([state.node_at(s) for s in live.tolist()])
+        assert np.array_equal(
+            state.distance_matrix()[np.ix_(live, live)], fresh.distance_matrix()
+        )
+
+    def test_integrate_validates_state_before_mutating(self, built_tree, rng):
+        """A bad splice target fails up front, leaving the state untouched."""
+        params, _, outcome = built_tree
+        tree_nodes = list(outcome.tree.nodes.values())
+        victims = _leaves(outcome.tree)[:1]
+        arrival_id = max(outcome.tree.nodes) + 1
+
+        # Arrival id free in the tree but already live in the wider state.
+        squatter = Node(id=arrival_id, position=Point(99.0, 99.0))
+        state = NetworkState(tree_nodes + [squatter])
+        before = len(state)
+        with pytest.raises(ProtocolError):
+            TreeRepairer(params).integrate(
+                outcome.tree, outcome.power, failed_ids=victims,
+                arrivals=[Node(id=arrival_id, position=Point(1.0, 2.0))],
+                rng=rng, state=state,
+            )
+        assert len(state) == before and victims[0] in state
+
+        # Failed id known to the tree but absent from the state.
+        partial = NetworkState([n for n in tree_nodes if n.id != victims[0]])
+        with pytest.raises(ProtocolError):
+            TreeRepairer(params).integrate(
+                outcome.tree, outcome.power, failed_ids=victims, rng=rng, state=partial,
+            )
 
 
 class TestMultiRoundChurnProperties:
