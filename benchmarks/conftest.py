@@ -6,13 +6,45 @@ pytest-benchmark timing, prints the regenerated table, and asserts the
 experiment's headline check so a benchmark run doubles as a reproduction run.
 
 Run with:  pytest benchmarks/ --benchmark-only
+
+``scripts/run_benchmarks.py`` exports ``REPRO_BENCH_ROUNDS`` /
+``REPRO_BENCH_WARMUP``; the ``benchmark`` fixture override below lifts every
+``benchmark.pedantic`` call to at least that many timed/warmup rounds, so
+baseline JSONs record a real ``stddev_s`` (a single round always records
+0.0) without every benchmark re-implementing round handling.
 """
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.experiments import ExperimentConfig
+
+
+def _env_rounds(name: str) -> int:
+    try:
+        return int(os.environ.get(name, "0") or 0)
+    except ValueError:
+        return 0
+
+
+@pytest.fixture
+def benchmark(benchmark):
+    """pytest-benchmark's fixture, with env-driven round minimums applied."""
+    rounds = _env_rounds("REPRO_BENCH_ROUNDS")
+    warmup = _env_rounds("REPRO_BENCH_WARMUP")
+    if benchmark.enabled and (rounds > 1 or warmup > 0):
+        pedantic = benchmark.pedantic
+
+        def pedantic_with_rounds(target, args=(), kwargs=None, **options):
+            options["rounds"] = max(rounds, int(options.get("rounds", 1)))
+            options["warmup_rounds"] = max(warmup, int(options.get("warmup_rounds", 0)))
+            return pedantic(target, args=args, kwargs=kwargs, **options)
+
+        benchmark.pedantic = pedantic_with_rounds
+    return benchmark
 
 
 @pytest.fixture(scope="session")

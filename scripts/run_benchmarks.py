@@ -14,12 +14,21 @@ table (mean wall-clock new vs old) and exits non-zero when any benchmark
 regressed beyond ``--regression-threshold``; ``--compare-report`` writes the
 rendered table to a file (CI uploads it as an artifact).
 
+``--rounds``/``--warmup`` (defaults: 3 rounds after 1 warmup round) are
+forwarded to the benchmark fixtures through the environment (see
+``benchmarks/conftest.py``), so every ``benchmark.pedantic`` call times
+multiple rounds and the recorded ``stddev_s`` is a real spread rather than
+the 0.0 a single round always produces - which is what makes ``--compare``
+deltas meaningful.  The actual per-benchmark round count lands in each
+row's ``rounds`` field, straight from pytest-benchmark's stats.
+
 Usage:
-    python scripts/run_benchmarks.py                         # full suite -> BENCH_PR4.json
+    python scripts/run_benchmarks.py                         # full suite -> BENCH_PR5.json
     python scripts/run_benchmarks.py --select "micro or slot_engine"
-    python scripts/run_benchmarks.py --tag PR5               # -> BENCH_PR5.json
+    python scripts/run_benchmarks.py --tag PR6               # -> BENCH_PR6.json
     python scripts/run_benchmarks.py --output /tmp/bench.json
-    python scripts/run_benchmarks.py --compare BENCH_PR3.json --regression-threshold 1.3
+    python scripts/run_benchmarks.py --rounds 5 --warmup 2
+    python scripts/run_benchmarks.py --compare BENCH_PR4.json --regression-threshold 1.3
 """
 
 from __future__ import annotations
@@ -35,9 +44,12 @@ from datetime import datetime, timezone
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.experiments.parallel import usable_cpu_count  # noqa: E402
 
 # Tag of the baseline currently being grown; bump per perf-relevant PR.
-DEFAULT_TAG = "PR4"
+DEFAULT_TAG = "PR5"
 
 
 def machine_info() -> dict:
@@ -49,11 +61,17 @@ def machine_info() -> dict:
         "machine": platform.machine(),
         "processor": platform.processor(),
         "cpu_count": os.cpu_count(),
+        "usable_cpu_count": usable_cpu_count(),
     }
 
 
-def run_benchmarks(select: str | None, raw_json: Path) -> int:
-    """Run the pytest-benchmark suite, writing its raw JSON to ``raw_json``."""
+def run_benchmarks(select: str | None, raw_json: Path, rounds: int, warmup: int) -> int:
+    """Run the pytest-benchmark suite, writing its raw JSON to ``raw_json``.
+
+    ``rounds``/``warmup`` reach the fixtures through the environment;
+    ``benchmarks/conftest.py`` lifts every ``benchmark.pedantic`` call to at
+    least that many timed/warmup rounds.
+    """
     cmd = [
         sys.executable,
         "-m",
@@ -65,8 +83,11 @@ def run_benchmarks(select: str | None, raw_json: Path) -> int:
     ]
     if select:
         cmd.extend(["-k", select])
-    print("+", " ".join(cmd))
-    return subprocess.call(cmd, cwd=REPO_ROOT)
+    env = dict(os.environ)
+    env["REPRO_BENCH_ROUNDS"] = str(rounds)
+    env["REPRO_BENCH_WARMUP"] = str(warmup)
+    print("+", " ".join(cmd), f"(rounds={rounds}, warmup={warmup})")
+    return subprocess.call(cmd, cwd=REPO_ROOT, env=env)
 
 
 def summarize(raw_json: Path) -> list[dict]:
@@ -153,6 +174,19 @@ def main(argv: list[str] | None = None) -> int:
         help="pytest -k expression selecting a benchmark subset (e.g. 'micro')",
     )
     parser.add_argument(
+        "--rounds",
+        type=int,
+        default=3,
+        help="timed rounds per benchmark (default: 3; makes stddev_s a real "
+        "spread instead of the 0.0 a single round records)",
+    )
+    parser.add_argument(
+        "--warmup",
+        type=int,
+        default=1,
+        help="untimed warmup rounds per benchmark before timing (default: 1)",
+    )
+    parser.add_argument(
         "--compare",
         type=Path,
         default=None,
@@ -175,6 +209,10 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.regression_threshold <= 0:
         parser.error("--regression-threshold must be positive")
+    if args.rounds < 1:
+        parser.error("--rounds must be at least 1")
+    if args.warmup < 0:
+        parser.error("--warmup must be non-negative")
     # Load the prior baseline up front: the default output file may be the
     # very baseline being compared against (e.g. `--compare BENCH_PR4.json`
     # with no --output), and the comparison must see its pre-run contents.
@@ -193,7 +231,7 @@ def main(argv: list[str] | None = None) -> int:
 
     with tempfile.TemporaryDirectory() as tmp:
         raw_json = Path(tmp) / "pytest-benchmark.json"
-        exit_code = run_benchmarks(args.select, raw_json)
+        exit_code = run_benchmarks(args.select, raw_json, args.rounds, args.warmup)
         if not raw_json.exists():
             print("benchmark run produced no JSON; aborting", file=sys.stderr)
             return exit_code or 1
@@ -203,6 +241,8 @@ def main(argv: list[str] | None = None) -> int:
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
         "tag": args.tag,
         "select": args.select,
+        "rounds": args.rounds,
+        "warmup": args.warmup,
         "machine": machine_info(),
         "benchmarks": benchmarks,
     }

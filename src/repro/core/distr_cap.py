@@ -40,7 +40,7 @@ from ..sinr import (
     LinkArrayCache,
     SINRParameters,
 )
-from ..state import NetworkState
+from ..state import DecodeWorkspace, NetworkState
 from .power_solver import is_power_controllable
 
 __all__ = ["DistrCapResult", "DistrCapSelector"]
@@ -82,6 +82,7 @@ class DistrCapSelector:
     ):
         self.params = params
         self.constants = constants
+        self._workspace = DecodeWorkspace()
 
     def select(
         self,
@@ -221,7 +222,11 @@ class DistrCapSelector:
         cache = LinkArrayCache(universe, state=state)
         offset = len(universe) - len(attempting)
         block = cache.affectance_block(
-            transmitter_indices, np.arange(offset, len(universe)), linear, self.params
+            transmitter_indices,
+            np.arange(offset, len(universe)),
+            linear,
+            self.params,
+            workspace=self._workspace,
         )
 
         survivors: list[Link] = []

@@ -36,7 +36,7 @@ from ..exceptions import ConfigurationError
 from ..geometry import Node
 from ..sinr import CachedChannel, ExplicitPower, LinkArrayCache, SINRParameters, is_feasible
 from ..sinr.power import PowerAssignment
-from ..state import NetworkState
+from ..state import DecodeWorkspace, NetworkState
 from .churn import ChurnProcess
 from .gain import GainModel
 from .mobility import MobilityModel
@@ -172,6 +172,9 @@ def replay_schedule(
     successes = 0
     total = 0
     slots = 0
+    # One scratch arena for the whole replay: each group's decode reuses the
+    # same buffers (results are consumed before the next group decodes).
+    workspace = DecodeWorkspace()
     for group_index, links in enumerate(groups):
         tx_idx = np.array([cache.index_of_id(l.sender.id) for l in links], dtype=np.intp)
         powers = np.array([power.power(l) for l in links], dtype=float)
@@ -186,7 +189,7 @@ def replay_schedule(
             [cache.index_of_id(links[k].receiver.id) for k in live], dtype=np.intp
         )
         best, _, ok = channel.resolve_indices(
-            tx_idx, rx_idx, powers, slot=start_slot + group_index
+            tx_idx, rx_idx, powers, slot=start_slot + group_index, workspace=workspace
         )
         for j, k in enumerate(live):
             if ok[j] and int(best[j]) == k:

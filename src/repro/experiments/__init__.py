@@ -18,7 +18,14 @@ from . import (
     f3_uniform_lower_bound,
 )
 from .config import ExperimentConfig
-from .parallel import default_workers, map_trials
+from .parallel import (
+    TrialFabric,
+    default_workers,
+    get_fabric,
+    map_trials,
+    map_trials_cold,
+    shared_state,
+)
 from .runner import ExperimentResult, average_rows, make_deployment, run_sweep
 
 ALL_EXPERIMENTS = {
@@ -53,7 +60,11 @@ __all__ = [
     "make_deployment",
     "run_sweep",
     "map_trials",
+    "map_trials_cold",
     "default_workers",
+    "shared_state",
+    "TrialFabric",
+    "get_fabric",
     "ALL_EXPERIMENTS",
     "run_all",
 ]

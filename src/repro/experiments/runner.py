@@ -55,14 +55,18 @@ def make_deployment(config: ExperimentConfig, n: int, seed: int, **kwargs) -> li
 def run_sweep(trial_fn: Callable[[tuple], Any], config: ExperimentConfig) -> list[Any]:
     """Evaluate a module-level trial function over ``config.trials()``.
 
-    Fans out over ``config.workers`` processes (see
-    :mod:`repro.experiments.parallel`); each trial receives
-    ``(config, n, seed)`` and results come back in sweep order.
+    Fans out over ``config.workers`` processes on the persistent trial
+    fabric (see :mod:`repro.experiments.parallel`); the config is broadcast
+    once per sweep through shared memory, each task carries only its
+    ``(n, seed)`` tail, and every trial receives the same ``(config, n,
+    seed)`` tuple it always has - results come back in sweep order,
+    bit-identical at any worker count.
     """
     return map_trials(
         trial_fn,
-        [(config, n, seed) for n, seed in config.trials()],
+        [(n, seed) for n, seed in config.trials()],
         workers=config.workers,
+        shared=config,
     )
 
 

@@ -37,6 +37,7 @@ import numpy as np
 from ..exceptions import ProtocolError
 from ..sinr import MAX_CACHED_CHANNEL_NODES, CachedChannel, Channel, Reception, Transmission
 from ..sinr.channel import ensure_positive_powers
+from ..state import DecodeWorkspace
 from .agent import NodeAgent
 from .trace import ColumnarTrace, ExecutionTrace, SlotRecord
 
@@ -116,6 +117,11 @@ class Simulator:
         # path).
         self._cache_idx: np.ndarray | None = None
         self._full_universe = False
+        # Scratch arena for the batch decode: every slot's gathered blocks,
+        # received-power matrix and per-listener vectors live in these
+        # reused buffers (results are consumed within the slot, so the
+        # view-until-next-decode contract holds by construction).
+        self._workspace = DecodeWorkspace() if engine == "batch" else None
         if engine == "batch" and type(self.channel) is CachedChannel:
             try:
                 self._cache_idx = np.array(
@@ -196,7 +202,7 @@ class Simulator:
             if self._full_universe:
                 tx_arr = np.array(tx_pos, dtype=np.intp)
                 best, sinr, ok = self.channel.resolve_indices_full(
-                    tx_arr, power_arr, slot=slot
+                    tx_arr, power_arr, slot=slot, workspace=self._workspace
                 )
                 # Half-duplex: transmitter columns never decode.
                 for pos in np.nonzero(ok & listening)[0].tolist():
@@ -210,7 +216,11 @@ class Simulator:
                 tx_arr = np.array(tx_pos, dtype=np.intp)
                 rx_arr = np.nonzero(listening)[0]
                 best, sinr, ok = self.channel.resolve_indices(
-                    self._cache_idx[tx_arr], self._cache_idx[rx_arr], power_arr, slot=slot
+                    self._cache_idx[tx_arr],
+                    self._cache_idx[rx_arr],
+                    power_arr,
+                    slot=slot,
+                    workspace=self._workspace,
                 )
                 for j in np.nonzero(ok)[0].tolist():
                     b = int(best[j])

@@ -51,7 +51,12 @@ import numpy as np
 
 from ..geometry import Node
 from ..links import Link
-from ..state import NetworkState, attenuation_from_distances, pairwise_distances
+from ..state import (
+    DecodeWorkspace,
+    NetworkState,
+    attenuation_from_distances,
+    pairwise_distances,
+)
 from .parameters import SINRParameters
 from .power import PowerAssignment
 
@@ -69,6 +74,30 @@ def _freeze(array: np.ndarray) -> np.ndarray:
     return array
 
 
+def _take_block(
+    base: np.ndarray,
+    rows: np.ndarray,
+    cols: np.ndarray,
+    workspace: DecodeWorkspace | None,
+    key: str,
+) -> np.ndarray:
+    """``base[np.ix_(rows, cols)]``, gathered into arena buffers when given.
+
+    The flat-index ``np.take`` copies exactly the cells of the requested
+    rectangle - the same values as the fancy ``np.ix_`` slice, bitwise -
+    without allocating and without staging whole base rows; the result is a
+    view into the arena.
+    """
+    if workspace is None or not base.flags.c_contiguous:
+        return base[np.ix_(rows, cols)]
+    flat = workspace.ints(key + ".idx", rows.size, cols.size)
+    np.multiply(rows[:, None], base.shape[1], out=flat)
+    np.add(flat, cols[None, :], out=flat)
+    block = workspace.floats(key + ".block", rows.size, cols.size)
+    np.take(base.reshape(-1), flat, out=block)
+    return block
+
+
 def _affectance_kernel(
     dist: np.ndarray,
     zero_mask: np.ndarray,
@@ -78,6 +107,7 @@ def _affectance_kernel(
     params: SINRParameters,
     cross_fade: np.ndarray | None = None,
     signal_fade: np.ndarray | None = None,
+    workspace: DecodeWorkspace | None = None,
 ) -> np.ndarray:
     """Affectance of row senders on column links, from precomputed arrays.
 
@@ -92,29 +122,69 @@ def _affectance_kernel(
     ``j``'s own signal arrives with (gain-model fading); when both are
     ``None`` - the deterministic model - the original expressions run
     unmodified.
+
+    With a ``workspace`` (deterministic model only; fading inputs fall back
+    to the allocating path) the same operations run ``out=``-based on arena
+    buffers: the returned matrix is a view valid until the next kernel call
+    through the same workspace, and bit-for-bit equal to the allocating
+    result.
     """
     cap = 1.0 + params.epsilon
-    if params.noise == 0:
-        costs = np.full(col_lengths.shape, params.beta)
-    else:
-        received_col = col_powers if signal_fade is None else col_powers * signal_fade
-        margins = 1.0 - params.beta * params.noise * col_lengths**params.alpha / received_col
-        costs = np.where(margins > 0, params.beta / np.maximum(margins, 1e-300), np.inf)
-
-    with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
-        if cross_fade is None and signal_fade is None:
-            power_ratio = row_powers[:, None] / col_powers[None, :]
+    if workspace is None or cross_fade is not None or signal_fade is not None:
+        if params.noise == 0:
+            costs = np.full(col_lengths.shape, params.beta)
         else:
-            landed = row_powers[:, None] if cross_fade is None else row_powers[:, None] * cross_fade
-            wanted = col_powers if signal_fade is None else col_powers * signal_fade
-            power_ratio = landed / wanted[None, :]
-        raw = (
-            costs[None, :]
-            * power_ratio
-            * (col_lengths[None, :] / np.maximum(dist, 1e-300)) ** params.alpha
-        )
-    raw = np.where(dist <= 0, np.inf, raw)
-    return np.where(zero_mask, 0.0, np.minimum(cap, raw))
+            received_col = col_powers if signal_fade is None else col_powers * signal_fade
+            margins = 1.0 - params.beta * params.noise * col_lengths**params.alpha / received_col
+            costs = np.where(margins > 0, params.beta / np.maximum(margins, 1e-300), np.inf)
+
+        with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+            if cross_fade is None and signal_fade is None:
+                power_ratio = row_powers[:, None] / col_powers[None, :]
+            else:
+                landed = row_powers[:, None] if cross_fade is None else row_powers[:, None] * cross_fade
+                wanted = col_powers if signal_fade is None else col_powers * signal_fade
+                power_ratio = landed / wanted[None, :]
+            raw = (
+                costs[None, :]
+                * power_ratio
+                * (col_lengths[None, :] / np.maximum(dist, 1e-300)) ** params.alpha
+            )
+        raw = np.where(dist <= 0, np.inf, raw)
+        return np.where(zero_mask, 0.0, np.minimum(cap, raw))
+
+    ws = workspace
+    rows, cols = dist.shape
+    costs = ws.floats("aff.costs", cols)
+    if params.noise == 0:
+        costs.fill(params.beta)
+    else:
+        np.power(col_lengths, params.alpha, out=costs)
+        np.multiply(costs, params.beta * params.noise, out=costs)
+        np.divide(costs, col_powers, out=costs)
+        np.subtract(1.0, costs, out=costs)  # = margins
+        positive = ws.bools("aff.positive", cols)
+        np.greater(costs, 0, out=positive)
+        np.maximum(costs, 1e-300, out=costs)
+        np.divide(params.beta, costs, out=costs)
+        np.logical_not(positive, out=positive)
+        np.copyto(costs, np.inf, where=positive)
+
+    ratio = ws.floats("aff.ratio", rows, cols)
+    raw = ws.floats("aff.raw", rows, cols)
+    with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
+        np.divide(row_powers[:, None], col_powers[None, :], out=ratio)
+        np.maximum(dist, 1e-300, out=raw)
+        np.divide(col_lengths[None, :], raw, out=raw)
+        np.power(raw, params.alpha, out=raw)
+        np.multiply(costs[None, :], ratio, out=ratio)
+        np.multiply(ratio, raw, out=raw)
+    colocated = ws.bools("aff.colocated", rows, cols)
+    np.less_equal(dist, 0, out=colocated)
+    np.copyto(raw, np.inf, where=colocated)
+    np.minimum(raw, cap, out=raw)
+    np.copyto(raw, 0.0, where=zero_mask)
+    return raw
 
 
 def affectance_matrix_from_arrays(
@@ -390,6 +460,8 @@ class LinkArrayCache(Sequence):
         cols: Sequence[int] | np.ndarray,
         power: PowerAssignment,
         params: SINRParameters,
+        *,
+        workspace: DecodeWorkspace | None = None,
     ) -> np.ndarray:
         """Affectance of ``rows``' senders on the ``cols`` links.
 
@@ -397,7 +469,10 @@ class LinkArrayCache(Sequence):
         cols)]`` but costs only O(|rows| * |cols|), so callers that read a
         rectangular block (e.g. transmitters x candidates in a ``Distr-Cap``
         slot) need not materialize the full universe matrix.  If the full
-        matrix happens to be cached already, it is sliced instead.
+        matrix happens to be cached already, it is sliced instead.  With a
+        ``workspace``, the distance gather and the kernel run on arena
+        buffers (the returned block is a view valid until the next call
+        through the same workspace).
         """
         rows = np.asarray(rows, dtype=np.intp)
         cols = np.asarray(cols, dtype=np.intp)
@@ -410,16 +485,31 @@ class LinkArrayCache(Sequence):
         if rows.size == 0 or cols.size == 0:
             return np.zeros((rows.size, cols.size), dtype=float)
         if self._distances is not None:
-            dist = self._distances[np.ix_(rows, cols)]
+            dist = _take_block(self._distances, rows, cols, workspace, "aff.dist")
         elif self._state is not None and self._state.has_distances:
-            dist = self._state.distance_matrix()[
-                np.ix_(self.sender_slots[rows], self.receiver_slots[cols])
-            ]
+            dist = _take_block(
+                self._state.distance_matrix(),
+                self.sender_slots[rows],
+                self.receiver_slots[cols],
+                workspace,
+                "aff.dist",
+            )
         else:
             dist = pairwise_distances(self.sender_xy[rows], self.receiver_xy[cols])
-        zero_mask = (
-            self.sender_ids[rows][:, None] == self.sender_ids[cols][None, :]
-        ) | (rows[:, None] == cols[None, :])
+        if workspace is None:
+            zero_mask = (
+                self.sender_ids[rows][:, None] == self.sender_ids[cols][None, :]
+            ) | (rows[:, None] == cols[None, :])
+        else:
+            zero_mask = workspace.bools("aff.zero", rows.size, cols.size)
+            np.equal(
+                self.sender_ids[rows][:, None],
+                self.sender_ids[cols][None, :],
+                out=zero_mask,
+            )
+            same_index = workspace.bools("aff.self", rows.size, cols.size)
+            np.equal(rows[:, None], cols[None, :], out=same_index)
+            np.logical_or(zero_mask, same_index, out=zero_mask)
         cross_fade, signal_fade = self._fades(params, rows, cols)
         return _affectance_kernel(
             dist,
@@ -430,6 +520,7 @@ class LinkArrayCache(Sequence):
             params,
             cross_fade,
             signal_fade,
+            workspace,
         )
 
     def sinr_values(
@@ -715,33 +806,73 @@ class NodeArrayCache:
         c = self._slots if cols is None else self._slots[np.asarray(cols, dtype=np.intp)]
         return r, c
 
+    def _gather_block(
+        self,
+        base: np.ndarray,
+        rows: np.ndarray,
+        cols: np.ndarray | None,
+        workspace: DecodeWorkspace | None,
+        key: str,
+    ) -> np.ndarray:
+        """Rectangle gather from a capacity-sized state matrix.
+
+        With a workspace, the whole-view contiguous case (the static hot
+        path) is a single row-take into the arena - the leading ``n``
+        columns of the gathered rows *are* the block - and general
+        rectangles are two-stage takes; without one, the classic ``np.ix_``
+        gather allocates.  All paths copy the same cells bit-for-bit.
+        """
+        r, c = self._slot_rows_cols(rows, cols)
+        if workspace is None:
+            return base[np.ix_(r, c)]
+        if cols is None and self._contiguous:
+            stage = workspace.floats(key + ".rows", r.size, base.shape[1])
+            np.take(base, r, axis=0, out=stage)
+            return stage[:, : self._slots.size]
+        return _take_block(base, r, c, workspace, key)
+
     def distance_block(
-        self, rows: np.ndarray, cols: np.ndarray | None = None
+        self,
+        rows: np.ndarray,
+        cols: np.ndarray | None = None,
+        *,
+        workspace: DecodeWorkspace | None = None,
     ) -> np.ndarray:
         """Distance rectangle ``rows x cols`` (``cols=None`` = whole view).
 
         Gathered straight from the state matrix - O(|rows| * |cols|), no
         dense (n, n) copy even when the view is non-contiguous.
         """
-        r, c = self._slot_rows_cols(rows, cols)
-        return self._state.distance_matrix()[np.ix_(r, c)]
+        return self._gather_block(
+            self._state.distance_matrix(), rows, cols, workspace, "cache.dist"
+        )
 
     def attenuation_block(
-        self, alpha: float, rows: np.ndarray, cols: np.ndarray | None = None
+        self,
+        alpha: float,
+        rows: np.ndarray,
+        cols: np.ndarray | None = None,
+        *,
+        workspace: DecodeWorkspace | None = None,
     ) -> np.ndarray:
         """Attenuation rectangle ``rows x cols`` (``cols=None`` = whole view)."""
-        r, c = self._slot_rows_cols(rows, cols)
-        return self._state.attenuation_matrix(alpha)[np.ix_(r, c)]
+        return self._gather_block(
+            self._state.attenuation_matrix(alpha), rows, cols, workspace, "cache.att"
+        )
 
     def fade_block(
-        self, model, rows: np.ndarray, cols: np.ndarray | None = None
+        self,
+        model,
+        rows: np.ndarray,
+        cols: np.ndarray | None = None,
+        *,
+        workspace: DecodeWorkspace | None = None,
     ) -> np.ndarray | None:
         """Slot-invariant fade rectangle, or ``None`` for unit gain."""
         base = self._state.fade_matrix(model)
         if base is None:
             return None
-        r, c = self._slot_rows_cols(rows, cols)
-        return base[np.ix_(r, c)]
+        return self._gather_block(base, rows, cols, workspace, "cache.fade")
 
     # -- mutation ------------------------------------------------------------
 

@@ -17,6 +17,19 @@ skip node-object marshalling entirely via :meth:`Channel.resolve_indices`,
 which works on integer indices into a :class:`~repro.sinr.arrays.NodeArrayCache`.
 The seed per-listener loop is preserved as :func:`decode_reference` so parity
 tests (and benchmarks) can pin the vectorized pass against it bit-for-bit.
+
+Two further gears sit on top of the vectorized pass (PR 5):
+
+* every decode entry point accepts a ``workspace``
+  (:class:`~repro.state.DecodeWorkspace`): the kernels then write into the
+  arena's preallocated buffers via ``out=``/in-place ufuncs instead of
+  allocating temporaries per slot.  Outputs are bit-for-bit identical to
+  the allocating path and valid until the next decode into the same
+  workspace;
+* :func:`decode_many` evaluates ``T`` same-shape trials (Monte-Carlo fade
+  draws, per-slot power sweeps) as one ``(T, n, n)`` tensor pass, so batch
+  workloads amortize kernel dispatch across trials.  Each trial's decode is
+  bit-identical to a separate :func:`decode_arrays` call.
 """
 
 from __future__ import annotations
@@ -27,7 +40,7 @@ from typing import Any, Iterable, Mapping, Sequence
 import numpy as np
 
 from ..geometry import Node
-from ..state import NetworkState
+from ..state import DecodeWorkspace, NetworkState
 from .arrays import NodeArrayCache
 from .parameters import SINRParameters
 
@@ -38,6 +51,7 @@ __all__ = [
     "CachedChannel",
     "MAX_CACHED_CHANNEL_NODES",
     "decode_arrays",
+    "decode_many",
     "decode_reference",
     "ensure_positive_powers",
 ]
@@ -89,6 +103,7 @@ def decode_arrays(
     params: SINRParameters,
     *,
     fade: np.ndarray | None = None,
+    workspace: DecodeWorkspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Vectorized SINR decode over a transmitter-to-listener distance matrix.
 
@@ -105,6 +120,10 @@ def decode_arrays(
             ``dist``) from a :class:`~repro.dynamics.gain.GainModel`; ``None``
             leaves the deterministic path loss untouched - the code path is
             then byte-identical to the seed kernel.
+        workspace: optional scratch arena; the kernel then runs on
+            preallocated buffers (zero per-call temporaries) and the
+            returned arrays are views into it, valid until the next decode
+            using the same workspace.
 
     Returns:
         ``(best, sinr, ok)``, each of length ``dist.shape[1]``: per listener,
@@ -114,29 +133,173 @@ def decode_arrays(
         seed per-listener loop (:func:`decode_reference`); parity tests pin
         this bit-for-bit.
     """
+    if workspace is None:
+        with np.errstate(divide="ignore"):
+            received = powers[:, None] / np.maximum(dist, 1e-300) ** params.alpha
+        received = np.where(dist <= 0, np.inf, received)
+        if fade is not None:
+            received = received * fade
+        return _decode_received(received, params)
+
+    received = workspace.floats("decode.received", *dist.shape)
+    np.maximum(dist, 1e-300, out=received)
+    np.power(received, params.alpha, out=received)
     with np.errstate(divide="ignore"):
-        received = powers[:, None] / np.maximum(dist, 1e-300) ** params.alpha
-    received = np.where(dist <= 0, np.inf, received)
+        np.divide(powers[:, None], received, out=received)
+    colocated = workspace.bools("decode.colocated", *dist.shape)
+    np.less_equal(dist, 0, out=colocated)
+    np.copyto(received, np.inf, where=colocated)
     if fade is not None:
-        received = received * fade
-    return _decode_received(received, params)
+        np.multiply(received, fade, out=received)
+    return _decode_received(received, params, workspace)
 
 
 def _decode_received(
-    received: np.ndarray, params: SINRParameters
+    received: np.ndarray,
+    params: SINRParameters,
+    workspace: DecodeWorkspace | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Decode from the received-signal matrix (see :func:`decode_arrays`)."""
-    total = received.sum(axis=0) + params.noise
-    best = received.argmax(axis=0)
-    best_signal = received[best, np.arange(received.shape[1])]
-    # A colocated transmitter (dist <= 0) makes the received entry infinite;
-    # the seed loop then evaluates inf - inf = nan and decodes nothing, so
-    # the nan must propagate here rather than be replaced.
+    if workspace is None:
+        total = received.sum(axis=0) + params.noise
+        best = received.argmax(axis=0)
+        best_signal = received[best, np.arange(received.shape[1])]
+        # A colocated transmitter (dist <= 0) makes the received entry
+        # infinite; the seed loop then evaluates inf - inf = nan and decodes
+        # nothing, so the nan must propagate here rather than be replaced.
+        with np.errstate(divide="ignore", invalid="ignore"):
+            interference = total - best_signal
+            ratio = best_signal / interference
+        sinr = np.where(interference <= 0, np.inf, ratio)
+        ok = sinr >= params.beta
+        return best, sinr, ok
+
+    # Zero-allocation variant: same elementwise operations, destinations
+    # reused from the arena.  The strongest signal is gathered with
+    # maximum.reduce - the value at the argmax row, bit-identical to the
+    # allocating path's fancy-index gather.
+    n = received.shape[1]
+    total = workspace.floats("decode.total", n)
+    np.add.reduce(received, axis=0, out=total)
+    np.add(total, params.noise, out=total)
+    best = workspace.ints("decode.best", n)
+    np.argmax(received, axis=0, out=best)
+    best_signal = workspace.floats("decode.signal", n)
+    np.maximum.reduce(received, axis=0, out=best_signal)
+    interference = workspace.floats("decode.interference", n)
+    sinr = workspace.floats("decode.sinr", n)
     with np.errstate(divide="ignore", invalid="ignore"):
-        interference = total - best_signal
-        ratio = best_signal / interference
-    sinr = np.where(interference <= 0, np.inf, ratio)
-    ok = sinr >= params.beta
+        np.subtract(total, best_signal, out=interference)
+        np.divide(best_signal, interference, out=sinr)
+    no_interference = workspace.bools("decode.mask", n)
+    np.less_equal(interference, 0, out=no_interference)
+    np.copyto(sinr, np.inf, where=no_interference)
+    ok = workspace.bools("decode.ok", n)
+    np.greater_equal(sinr, params.beta, out=ok)
+    return best, sinr, ok
+
+
+def _stacked_trials(dist: np.ndarray, powers: np.ndarray, fade: np.ndarray | None) -> int:
+    """Trial count of a :func:`decode_many` input set (ValueError if unstacked)."""
+    counts = set()
+    if dist.ndim == 3:
+        counts.add(dist.shape[0])
+    if powers.ndim == 2:
+        counts.add(powers.shape[0])
+    if fade is not None and fade.ndim == 3:
+        counts.add(fade.shape[0])
+    if not counts:
+        raise ValueError("no input carries a trial dimension; use decode_arrays")
+    if len(counts) > 1:
+        raise ValueError(f"inconsistent trial counts among the stacked inputs: {sorted(counts)}")
+    return counts.pop()
+
+
+def decode_many(
+    dist: np.ndarray,
+    powers: np.ndarray,
+    params: SINRParameters,
+    *,
+    fade: np.ndarray | None = None,
+    workspace: DecodeWorkspace | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Trial-stacked :func:`decode_arrays`: ``T`` same-shape trials, one pass.
+
+    Monte-Carlo sweeps evaluate the same geometry under ``T`` varying
+    conditions - per-trial fade draws, per-slot power vectors.  Calling
+    :func:`decode_arrays` per trial pays the kernel-dispatch overhead ``T``
+    times; this stacks the trials into one ``(T, ntx, nrx)`` tensor pass.
+    Inputs without a leading trial dimension are broadcast across trials:
+
+    Args:
+        dist: ``(ntx, nrx)`` shared geometry or ``(T, ntx, nrx)`` per trial.
+        powers: ``(ntx,)`` shared powers or ``(T, ntx)`` per trial.
+        params: physical-model parameters.
+        fade: ``None``, a shared ``(ntx, nrx)`` fade matrix (slot-invariant
+            models) or a ``(T, ntx, nrx)`` per-trial fade tensor.
+        workspace: optional scratch arena (reused tensors across calls).
+
+    Returns:
+        ``(best, sinr, ok)``, each of shape ``(T, nrx)``.  Every trial row
+        is bit-for-bit identical to a separate ``decode_arrays`` call on
+        that trial's inputs (the reductions run per trial slice with the
+        same memory layout; parity tests pin this).
+    """
+    dist = np.asarray(dist, dtype=float)
+    powers = np.asarray(powers, dtype=float)
+    if fade is not None:
+        fade = np.asarray(fade, dtype=float)
+    trials = _stacked_trials(dist, powers, fade)
+    ntx, nrx = dist.shape[-2:]
+    ws = DecodeWorkspace() if workspace is None else workspace
+
+    # The path-loss denominator is evaluated in the inputs' natural shape
+    # (once when the geometry is shared across trials), then broadcast.
+    att = ws.floats("many.att", *dist.shape)
+    np.maximum(dist, 1e-300, out=att)
+    np.power(att, params.alpha, out=att)
+    received = ws.floats("many.received", trials, ntx, nrx)
+    power_cube = powers[:, :, None] if powers.ndim == 2 else powers[None, :, None]
+    with np.errstate(divide="ignore"):
+        np.divide(power_cube, att if att.ndim == 3 else att[None], out=received)
+    colocated = ws.bools("many.colocated", *dist.shape)
+    np.less_equal(dist, 0, out=colocated)
+    np.copyto(received, np.inf, where=colocated if colocated.ndim == 3 else colocated[None])
+    if fade is not None:
+        np.multiply(received, fade if fade.ndim == 3 else fade[None], out=received)
+    return _decode_received_stack(received, params, ws)
+
+
+def _decode_received_stack(
+    received: np.ndarray, params: SINRParameters, ws: DecodeWorkspace
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-trial decode of a ``(T, ntx, nrx)`` received tensor.
+
+    The single implementation of the stacked reduction tail
+    (:func:`decode_many` and :meth:`Channel.resolve_indices_many` both end
+    here).  The operation sequence mirrors :func:`_decode_received` exactly,
+    with the reductions over axis 1 - each trial slice reduces in the same
+    memory layout as the 2D kernel, which is what makes every trial row
+    bit-identical to a per-slot decode; do not reorder.
+    """
+    trials, _, nrx = received.shape
+    total = ws.floats("many.total", trials, nrx)
+    np.add.reduce(received, axis=1, out=total)
+    np.add(total, params.noise, out=total)
+    best = ws.ints("many.best", trials, nrx)
+    np.argmax(received, axis=1, out=best)
+    best_signal = ws.floats("many.signal", trials, nrx)
+    np.maximum.reduce(received, axis=1, out=best_signal)
+    interference = ws.floats("many.interference", trials, nrx)
+    sinr = ws.floats("many.sinr", trials, nrx)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        np.subtract(total, best_signal, out=interference)
+        np.divide(best_signal, interference, out=sinr)
+    no_interference = ws.bools("many.mask", trials, nrx)
+    np.less_equal(interference, 0, out=no_interference)
+    np.copyto(sinr, np.inf, where=no_interference)
+    ok = ws.bools("many.ok", trials, nrx)
+    np.greater_equal(sinr, params.beta, out=ok)
     return best, sinr, ok
 
 
@@ -264,6 +427,7 @@ class Channel:
         tx: np.ndarray,
         rx: np.ndarray | None,
         slot: int | None,
+        workspace: DecodeWorkspace | None = None,
     ) -> np.ndarray | None:
         """Gain-model fade block for index arrays (``rx=None`` = all nodes).
 
@@ -278,7 +442,7 @@ class Channel:
         if model.slot_invariant:
             # Served from the shared state's per-model fade matrix - hashed
             # once, patched under churn, gathered per slot.
-            return cache.fade_block(model, tx, rx)
+            return cache.fade_block(model, tx, rx, workspace=workspace)
         rx_ids = cache.ids if rx is None else cache.ids[rx]
         return model.fade(cache.ids[tx], rx_ids, slot)
 
@@ -289,6 +453,8 @@ class Channel:
         powers: np.ndarray,
         cache: NodeArrayCache,
         slot: int | None = None,
+        *,
+        workspace: DecodeWorkspace | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Index-array fast path of :meth:`resolve` against a node cache.
 
@@ -303,7 +469,9 @@ class Channel:
 
         Returns:
             ``(best, sinr, ok)`` aligned to ``rx_indices``; ``best`` holds
-            positions into ``tx_indices`` (see :func:`decode_arrays`).
+            positions into ``tx_indices`` (see :func:`decode_arrays`).  With
+            a ``workspace``, the arrays are views into it, valid until the
+            next decode through the same workspace.
         """
         tx = np.asarray(tx_indices, dtype=np.intp)
         rx = np.asarray(rx_indices, dtype=np.intp)
@@ -317,13 +485,16 @@ class Channel:
         # so the gather-and-divide below reproduces the uncached
         # `np.where(dist <= 0, inf, powers / max(dist, 1e-300)**alpha)`
         # bit-for-bit without a float power per slot.
-        attenuation = cache.attenuation_block(self.params.alpha, tx, rx)
-        with np.errstate(divide="ignore"):
-            received = np.asarray(powers, dtype=float)[:, None] / attenuation
-        fade = self._index_fade(cache, tx, rx, slot)
+        attenuation = cache.attenuation_block(
+            self.params.alpha, tx, rx, workspace=workspace
+        )
+        received = self._received_from_attenuation(
+            attenuation, powers, workspace, tx.size, rx.size
+        )
+        fade = self._index_fade(cache, tx, rx, slot, workspace)
         if fade is not None:
-            received = received * fade
-        return _decode_received(received, self.params)
+            received = self._apply_fade(received, fade, workspace)
+        return _decode_received(received, self.params, workspace)
 
     def resolve_indices_full(
         self,
@@ -331,6 +502,8 @@ class Channel:
         powers: np.ndarray,
         cache: NodeArrayCache,
         slot: int | None = None,
+        *,
+        workspace: DecodeWorkspace | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """:meth:`resolve_indices` with the *whole universe* as listeners.
 
@@ -349,13 +522,115 @@ class Channel:
                 np.zeros(len(cache), dtype=float),
                 np.zeros(len(cache), dtype=bool),
             )
-        attenuation = cache.attenuation_block(self.params.alpha, tx)
-        with np.errstate(divide="ignore"):
-            received = np.asarray(powers, dtype=float)[:, None] / attenuation
-        fade = self._index_fade(cache, tx, None, slot)
+        attenuation = cache.attenuation_block(self.params.alpha, tx, workspace=workspace)
+        received = self._received_from_attenuation(
+            attenuation, powers, workspace, tx.size, len(cache)
+        )
+        fade = self._index_fade(cache, tx, None, slot, workspace)
         if fade is not None:
-            received = received * fade
-        return _decode_received(received, self.params)
+            received = self._apply_fade(received, fade, workspace)
+        return _decode_received(received, self.params, workspace)
+
+    @staticmethod
+    def _received_from_attenuation(
+        attenuation: np.ndarray,
+        powers: np.ndarray,
+        workspace: DecodeWorkspace | None,
+        ntx: int,
+        nrx: int,
+    ) -> np.ndarray:
+        """``powers[:, None] / attenuation``, into the arena when one is given."""
+        power_col = np.asarray(powers, dtype=float)[:, None]
+        if workspace is None:
+            with np.errstate(divide="ignore"):
+                return power_col / attenuation
+        received = workspace.floats("decode.received", ntx, nrx)
+        with np.errstate(divide="ignore"):
+            np.divide(power_col, attenuation, out=received)
+        return received
+
+    @staticmethod
+    def _apply_fade(
+        received: np.ndarray, fade: np.ndarray, workspace: DecodeWorkspace | None
+    ) -> np.ndarray:
+        if workspace is None:
+            return received * fade
+        np.multiply(received, fade, out=received)
+        return received
+
+    def resolve_indices_many(
+        self,
+        tx_indices: np.ndarray,
+        powers: np.ndarray,
+        cache: NodeArrayCache,
+        slots: np.ndarray | None = None,
+        *,
+        workspace: DecodeWorkspace | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Trial-stacked :meth:`resolve_indices_full`: ``T`` slots in one pass.
+
+        Evaluates the *same transmitter set* under ``T`` per-trial power
+        vectors (and, for slot-dependent gain models, ``T`` fade draws) with
+        one attenuation gather and one tensor decode - the per-trial rows
+        are bit-identical to ``T`` separate :meth:`resolve_indices_full`
+        calls (parity tests pin this).
+
+        Args:
+            tx_indices: transmitter indices into ``cache`` (shared by all
+                trials).
+            powers: ``(T, ntx)`` per-trial powers, or ``(ntx,)`` shared.
+            cache: the node universe.
+            slots: length-``T`` global slot indices, consumed by
+                slot-dependent gain models; ``None`` uses the slot-free
+                draw for every trial.
+            workspace: optional scratch arena.
+
+        Returns:
+            ``(best, sinr, ok)``, each of shape ``(T, len(cache))``.
+        """
+        tx = np.asarray(tx_indices, dtype=np.intp)
+        powers = np.asarray(powers, dtype=float)
+        if slots is not None:
+            slots = np.asarray(slots, dtype=np.int64)
+            trials = slots.shape[0]
+        elif powers.ndim == 2:
+            trials = powers.shape[0]
+        else:
+            raise ValueError("pass slots or stacked (T, ntx) powers to size the trial stack")
+        n = len(cache)
+        if tx.size == 0 or n == 0:
+            return (
+                np.zeros((trials, n), dtype=np.intp),
+                np.zeros((trials, n), dtype=float),
+                np.zeros((trials, n), dtype=bool),
+            )
+        if powers.ndim == 2 and powers.shape[0] != trials:
+            raise ValueError(
+                f"powers stack has {powers.shape[0]} trials but slots has {trials}"
+            )
+        attenuation = cache.attenuation_block(self.params.alpha, tx, workspace=workspace)
+        ws = DecodeWorkspace() if workspace is None else workspace
+        received = ws.floats("many.received", trials, tx.size, n)
+        power_cube = powers[:, :, None] if powers.ndim == 2 else powers[None, :, None]
+        with np.errstate(divide="ignore"):
+            np.divide(power_cube, attenuation[None], out=received)
+
+        model = self.params.effective_gain_model
+        if model is not None:
+            if model.slot_invariant:
+                fade = cache.fade_block(model, tx, workspace=workspace)
+                if fade is not None:
+                    np.multiply(received, fade[None], out=received)
+            else:
+                fade = model.fade_stack(
+                    cache.ids[tx],
+                    cache.ids,
+                    np.zeros(trials, dtype=np.int64) if slots is None else slots,
+                )
+                if fade is not None:
+                    np.multiply(received, fade, out=received)
+
+        return _decode_received_stack(received, self.params, ws)
 
     def link_succeeds(
         self,
@@ -493,10 +768,17 @@ class CachedChannel(Channel):
         powers: np.ndarray,
         cache: NodeArrayCache | None = None,
         slot: int | None = None,
+        *,
+        workspace: DecodeWorkspace | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Index-array fast path; indices address this channel's own cache."""
         return super().resolve_indices(
-            tx_indices, rx_indices, powers, self.cache if cache is None else cache, slot
+            tx_indices,
+            rx_indices,
+            powers,
+            self.cache if cache is None else cache,
+            slot,
+            workspace=workspace,
         )
 
     def resolve_indices_full(
@@ -505,10 +787,34 @@ class CachedChannel(Channel):
         powers: np.ndarray,
         cache: NodeArrayCache | None = None,
         slot: int | None = None,
+        *,
+        workspace: DecodeWorkspace | None = None,
     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Whole-universe fast path; indices address this channel's own cache."""
         return super().resolve_indices_full(
-            tx_indices, powers, self.cache if cache is None else cache, slot
+            tx_indices,
+            powers,
+            self.cache if cache is None else cache,
+            slot,
+            workspace=workspace,
+        )
+
+    def resolve_indices_many(
+        self,
+        tx_indices: np.ndarray,
+        powers: np.ndarray,
+        cache: NodeArrayCache | None = None,
+        slots: np.ndarray | None = None,
+        *,
+        workspace: DecodeWorkspace | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Trial-stacked fast path; indices address this channel's own cache."""
+        return super().resolve_indices_many(
+            tx_indices,
+            powers,
+            self.cache if cache is None else cache,
+            slots,
+            workspace=workspace,
         )
 
     def _distances_to_node(self, receiver: Node, nodes: Sequence[Node]) -> np.ndarray:

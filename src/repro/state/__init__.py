@@ -5,10 +5,24 @@ the layer stack (see ``ARCHITECTURE.md``): a :class:`NetworkState` owns the
 over-allocated position/distance/attenuation/fade matrices for one node
 universe and supports O(damage) incremental add/remove/move; the caches of
 ``repro.sinr.arrays`` are views over it, and the dynamics drivers patch it
-instead of rebuilding per event.
+instead of rebuilding per event.  :class:`DecodeWorkspace` provides the
+scratch arenas the decode kernels reuse instead of allocating per slot, and
+:mod:`repro.state.shared` exports a state's matrices through POSIX shared
+memory so worker processes read them zero-copy.
 """
 
 from .kernels import attenuation_from_distances, pairwise_distances
 from .network import NetworkState
+from .scratch import DecodeWorkspace
+from .shared import SharedStateSpec, StateExport, attach_state, export_state
 
-__all__ = ["NetworkState", "attenuation_from_distances", "pairwise_distances"]
+__all__ = [
+    "NetworkState",
+    "DecodeWorkspace",
+    "SharedStateSpec",
+    "StateExport",
+    "attach_state",
+    "export_state",
+    "attenuation_from_distances",
+    "pairwise_distances",
+]

@@ -1,0 +1,130 @@
+"""Shared-memory NetworkState export/attach (repro.state.shared).
+
+The fabric's zero-copy broadcast hinges on three properties: the attached
+arrays are bitwise the exporter's, the attached state is usable by every
+view/channel built on top, and it is immutable - a worker can never corrupt
+geometry other workers (and the parent) are reading.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry import Node, Point, deployment_by_name
+from repro.sinr import CachedChannel, SINRParameters
+from repro.state import NetworkState, attach_state, export_state
+
+
+@pytest.fixture
+def state() -> NetworkState:
+    nodes = deployment_by_name("uniform", 24, np.random.default_rng(3))
+    state = NetworkState(nodes)
+    state.distance_matrix()
+    return state
+
+
+class TestExportAttach:
+    def test_roundtrip_is_bitwise(self, state):
+        params = SINRParameters()
+        state.attenuation_matrix(params.alpha)
+        export = export_state(state, alphas=(params.alpha,))
+        try:
+            attached = attach_state(export.spec)
+            n = len(state)
+            assert np.array_equal(attached.xy, state.xy[:n])
+            assert np.array_equal(attached.ids, state.ids[:n])
+            assert np.array_equal(attached.distance_matrix(), state.distance_matrix()[:n, :n])
+            assert np.array_equal(
+                attached.attenuation_matrix(params.alpha),
+                state.attenuation_matrix(params.alpha)[:n, :n],
+            )
+        finally:
+            export.close()
+
+    def test_attached_state_serves_channels(self, state):
+        params = SINRParameters()
+        export = export_state(state, alphas=(params.alpha,))
+        try:
+            attached = attach_state(export.spec)
+            original = CachedChannel(params, state=state)
+            shared = CachedChannel(params, state=attached)
+            tx = np.array([0, 5, 11], dtype=np.intp)
+            powers = np.full(3, params.min_power_for(1.5))
+            expected = original.resolve_indices_full(tx, powers)
+            got = shared.resolve_indices_full(tx, powers)
+            for left, right in zip(got, expected):
+                assert np.array_equal(left, right, equal_nan=True)
+        finally:
+            export.close()
+
+    def test_attachment_survives_parent_unlink(self, state):
+        export = export_state(state)
+        attached = attach_state(export.spec)
+        export.close()  # parent done with the sweep; mapping must stay valid
+        assert np.isfinite(attached.distance_matrix()).all()
+        assert attached.node_at(0).id == state.node_at(0).id
+
+    def test_non_compact_state_rejected(self, state):
+        state.remove_nodes([state.node_at(2).id])
+        with pytest.raises(ValueError, match="compact"):
+            export_state(state)
+
+    def test_lookup_api_on_attached_state(self, state):
+        export = export_state(state)
+        try:
+            attached = attach_state(export.spec)
+            for slot in range(len(state)):
+                node = state.node_at(slot)
+                assert attached.slot_of_id(node.id) == slot
+                assert attached.node_at(slot).id == node.id
+                assert node.id in attached
+            assert len(attached) == len(state)
+        finally:
+            export.close()
+
+
+class TestReadOnlyGuard:
+    def test_attached_state_rejects_mutation(self, state):
+        export = export_state(state)
+        try:
+            attached = attach_state(export.spec)
+            assert attached.readonly
+            with pytest.raises(ValueError, match="read-only"):
+                attached.add_nodes([Node(id=999, position=Point(0.5, 0.5))])
+            with pytest.raises(ValueError, match="read-only"):
+                attached.remove_nodes([attached.node_at(0).id])
+            with pytest.raises(ValueError, match="read-only"):
+                attached.move_nodes(np.array([0]), np.array([[0.1, 0.1]]))
+        finally:
+            export.close()
+
+    def test_regular_state_stays_mutable(self, state):
+        assert not state.readonly
+        state.move_nodes(np.array([0]), np.array([[0.25, 0.25]]))
+
+
+class TestFromArrays:
+    def test_duplicate_ids_rejected(self):
+        xy = np.zeros((2, 2))
+        with pytest.raises(ValueError, match="duplicate"):
+            NetworkState.from_arrays(xy, np.array([4, 4]))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            NetworkState.from_arrays(np.zeros((3, 2)), np.array([1, 2]))
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            NetworkState.from_arrays(np.zeros((2, 2)), np.array([1, -1]))
+
+    def test_lazy_matrices_on_adopted_arrays(self):
+        rng = np.random.default_rng(1)
+        xy = rng.random((6, 2))
+        ids = np.arange(6)
+        adopted = NetworkState.from_arrays(xy, ids)
+        reference = NetworkState(
+            [Node(id=int(i), position=Point(float(x), float(y))) for i, (x, y) in zip(ids, xy)]
+        )
+        assert np.array_equal(adopted.distance_matrix(), reference.distance_matrix())
+        assert np.array_equal(adopted.attenuation_matrix(3.0), reference.attenuation_matrix(3.0))
