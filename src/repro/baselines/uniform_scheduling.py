@@ -49,6 +49,8 @@ class UniformScheduler:
             the instance diameter is known).
     """
 
+    __slots__ = ('level', 'params')
+
     def __init__(self, params: SINRParameters, level: float | None = None):
         self.params = params
         self.level = level

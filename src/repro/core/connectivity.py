@@ -36,6 +36,8 @@ class ConnectivityProtocol:
         constants: protocol constants shared by all algorithms.
     """
 
+    __slots__ = ('constants', 'params')
+
     def __init__(
         self,
         params: SINRParameters | None = None,

@@ -75,6 +75,8 @@ class DistrCapSelector:
             probability in slot 1.
     """
 
+    __slots__ = ('_workspace', 'constants', 'params')
+
     def __init__(
         self,
         params: SINRParameters,

@@ -69,6 +69,8 @@ class DistributedScheduleResult:
 class _LinkContender:
     """Per-link contention state (conceptually owned by the link's sender)."""
 
+    __slots__ = ('index', 'link', 'power', 'probability', 'rng', 'scheduled_frame')
+
     def __init__(self, link: Link, probability: float, rng: np.random.Generator, index: int):
         self.link = link
         self.probability = probability

@@ -56,6 +56,8 @@ class MeanPowerRescheduler:
         constants: protocol constants forwarded to the distributed scheduler.
     """
 
+    __slots__ = ('constants', 'params')
+
     def __init__(
         self,
         params: SINRParameters,

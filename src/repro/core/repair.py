@@ -70,6 +70,8 @@ class TreeRepairer:
         constants: protocol constants forwarded to the ``Init`` re-run.
     """
 
+    __slots__ = ('constants', 'params')
+
     def __init__(
         self,
         params: SINRParameters,

@@ -6,6 +6,16 @@ catch everything raised by this package with a single ``except`` clause.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "DeploymentError",
+    "InfeasiblePowerError",
+    "ScheduleError",
+    "ProtocolError",
+    "ConvergenceError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` library."""

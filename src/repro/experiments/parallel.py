@@ -320,7 +320,7 @@ def _map_sequential(
     was_readonly = None
     if state is not None:
         was_readonly = state._readonly  # noqa: SLF001 - sweep-scoped freeze
-        state._readonly = True
+        state._readonly = True  # repro-lint: disable=RL004 - the freeze itself
     try:
         if shared is None:
             return [trial_fn(args) for args in items]
@@ -328,7 +328,7 @@ def _map_sequential(
     finally:
         _CURRENT_STATE = previous
         if state is not None:
-            state._readonly = was_readonly
+            state._readonly = was_readonly  # repro-lint: disable=RL004 - unfreeze
 
 
 def map_trials(

@@ -44,6 +44,8 @@ class SlotRecord:
 class ExecutionTrace:
     """Accumulated record of a simulated protocol execution (record store)."""
 
+    __slots__ = ('metadata', 'records')
+
     def __init__(
         self,
         records: Iterable[SlotRecord] | None = None,

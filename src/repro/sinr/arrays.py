@@ -45,10 +45,12 @@ mutated afterwards; call :meth:`LinkArrayCache.invalidate` after mutating an
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
 import numpy as np
 
+from .._types import BoolArray, FloatArray
+from ..contracts import hot_kernel
 from ..geometry import Node
 from ..links import Link
 from ..state import (
@@ -59,6 +61,9 @@ from ..state import (
 )
 from .parameters import SINRParameters
 from .power import PowerAssignment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dynamics uses sinr)
+    from ..dynamics.gain import GainModel
 
 __all__ = [
     "LinkArrayCache",
@@ -74,6 +79,7 @@ def _freeze(array: np.ndarray) -> np.ndarray:
     return array
 
 
+@hot_kernel()
 def _take_block(
     base: np.ndarray,
     rows: np.ndarray,
@@ -98,6 +104,7 @@ def _take_block(
     return block
 
 
+@hot_kernel()
 def _affectance_kernel(
     dist: np.ndarray,
     zero_mask: np.ndarray,
@@ -187,15 +194,16 @@ def _affectance_kernel(
     return raw
 
 
+@hot_kernel(oracle="_seed_affectance_matrix", allocates=True)
 def affectance_matrix_from_arrays(
-    dist: np.ndarray,
-    same_sender: np.ndarray,
-    lengths: np.ndarray,
-    powers: np.ndarray,
+    dist: FloatArray,
+    same_sender: BoolArray,
+    lengths: FloatArray,
+    powers: FloatArray,
     params: SINRParameters,
-    cross_fade: np.ndarray | None = None,
-    signal_fade: np.ndarray | None = None,
-) -> np.ndarray:
+    cross_fade: FloatArray | None = None,
+    signal_fade: FloatArray | None = None,
+) -> FloatArray:
     """Pairwise affectance matrix from precomputed arrays.
 
     ``dist[i, j]`` is the distance from link ``i``'s sender to link ``j``'s
@@ -214,15 +222,16 @@ def affectance_matrix_from_arrays(
     )
 
 
+@hot_kernel(oracle="_seed_sinr_values", allocates=True)
 def sinr_values_from_arrays(
-    dist: np.ndarray,
-    same_sender: np.ndarray,
-    lengths: np.ndarray,
-    powers: np.ndarray,
+    dist: FloatArray,
+    same_sender: BoolArray,
+    lengths: FloatArray,
+    powers: FloatArray,
     params: SINRParameters,
-    cross_fade: np.ndarray | None = None,
-    signal_fade: np.ndarray | None = None,
-) -> np.ndarray:
+    cross_fade: FloatArray | None = None,
+    signal_fade: FloatArray | None = None,
+) -> FloatArray:
     """Raw Eqn. (1) SINR at each link's receiver, from precomputed arrays."""
     m = len(lengths)
     if m == 0:
@@ -267,7 +276,7 @@ class LinkArrayCache(Sequence):
             both run the shared ``hypot`` kernel on the same coordinates.
     """
 
-    def __init__(self, links: Iterable[Link], *, state: NetworkState | None = None):
+    def __init__(self, links: Iterable[Link], *, state: NetworkState | None = None) -> None:
         self._links: list[Link] = list(links)
         m = len(self._links)
         self._state = state
@@ -308,7 +317,7 @@ class LinkArrayCache(Sequence):
     def __len__(self) -> int:
         return len(self._links)
 
-    def __getitem__(self, index):  # type: ignore[override]
+    def __getitem__(self, index: int | slice) -> "Link | list[Link]":  # type: ignore[override]
         return self._links[index]
 
     def __iter__(self) -> Iterator[Link]:
@@ -639,7 +648,7 @@ class NodeArrayCache:
         nodes: Iterable[Node] | None = None,
         *,
         state: NetworkState | None = None,
-    ):
+    ) -> None:
         if state is None:
             state = NetworkState(() if nodes is None else nodes)
             nodes = None
@@ -784,7 +793,7 @@ class NodeArrayCache:
         """
         return self._dense_view(("att", alpha), self._state.attenuation_matrix(alpha))
 
-    def fade_matrix(self, model) -> np.ndarray | None:
+    def fade_matrix(self, model: "GainModel") -> np.ndarray | None:
         """Full-universe fade matrix of a *slot-invariant* gain model.
 
         Static fades (e.g. log-normal shadowing) are pure functions of node
@@ -806,6 +815,7 @@ class NodeArrayCache:
         c = self._slots if cols is None else self._slots[np.asarray(cols, dtype=np.intp)]
         return r, c
 
+    @hot_kernel()
     def _gather_block(
         self,
         base: np.ndarray,
@@ -862,7 +872,7 @@ class NodeArrayCache:
 
     def fade_block(
         self,
-        model,
+        model: "GainModel",
         rows: np.ndarray,
         cols: np.ndarray | None = None,
         *,
@@ -876,7 +886,7 @@ class NodeArrayCache:
 
     # -- mutation ------------------------------------------------------------
 
-    def update_positions(self, indices, new_xy) -> None:
+    def update_positions(self, indices: np.ndarray, new_xy: np.ndarray) -> None:
         """Move a subset of nodes, patching the state matrices incrementally.
 
         The mobility models of ``repro.dynamics`` call this between slots:
@@ -915,7 +925,7 @@ class AffectanceAccumulator:
     tests bound it).
     """
 
-    def __init__(self, matrix: np.ndarray, members: Iterable[int] = ()):
+    def __init__(self, matrix: np.ndarray, members: Iterable[int] = ()) -> None:
         matrix = np.asarray(matrix, dtype=float)
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise ValueError(f"matrix must be square, got shape {matrix.shape}")

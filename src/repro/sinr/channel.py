@@ -39,6 +39,8 @@ from typing import Any, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from .._types import DecodeTriple, FloatArray
+from ..contracts import hot_kernel
 from ..geometry import Node
 from ..state import DecodeWorkspace, NetworkState
 from .arrays import NodeArrayCache
@@ -97,14 +99,15 @@ class Reception:
     sinr: float
 
 
+@hot_kernel(oracle="decode_reference")
 def decode_arrays(
     dist: np.ndarray,
     powers: np.ndarray,
     params: SINRParameters,
     *,
-    fade: np.ndarray | None = None,
+    fade: FloatArray | None = None,
     workspace: DecodeWorkspace | None = None,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> DecodeTriple:
     """Vectorized SINR decode over a transmitter-to-listener distance matrix.
 
     ``dist[i, j]`` is the distance from transmitter ``i`` to listener ``j``
@@ -154,6 +157,7 @@ def decode_arrays(
     return _decode_received(received, params, workspace)
 
 
+@hot_kernel()
 def _decode_received(
     received: np.ndarray,
     params: SINRParameters,
@@ -215,14 +219,15 @@ def _stacked_trials(dist: np.ndarray, powers: np.ndarray, fade: np.ndarray | Non
     return counts.pop()
 
 
+@hot_kernel(oracle="decode_arrays")
 def decode_many(
     dist: np.ndarray,
     powers: np.ndarray,
     params: SINRParameters,
     *,
-    fade: np.ndarray | None = None,
+    fade: FloatArray | None = None,
     workspace: DecodeWorkspace | None = None,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+) -> DecodeTriple:
     """Trial-stacked :func:`decode_arrays`: ``T`` same-shape trials, one pass.
 
     Monte-Carlo sweeps evaluate the same geometry under ``T`` varying
@@ -270,6 +275,7 @@ def decode_many(
     return _decode_received_stack(received, params, ws)
 
 
+@hot_kernel()
 def _decode_received_stack(
     received: np.ndarray, params: SINRParameters, ws: DecodeWorkspace
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -341,7 +347,9 @@ class Channel:
         params: the physical-model parameters.
     """
 
-    def __init__(self, params: SINRParameters):
+    __slots__ = ('params',)
+
+    def __init__(self, params: SINRParameters) -> None:
         self.params = params
 
     def resolve(
@@ -532,6 +540,7 @@ class Channel:
         return _decode_received(received, self.params, workspace)
 
     @staticmethod
+    @hot_kernel()
     def _received_from_attenuation(
         attenuation: np.ndarray,
         powers: np.ndarray,
@@ -550,6 +559,7 @@ class Channel:
         return received
 
     @staticmethod
+    @hot_kernel()
     def _apply_fade(
         received: np.ndarray, fade: np.ndarray, workspace: DecodeWorkspace | None
     ) -> np.ndarray:
@@ -732,7 +742,7 @@ class CachedChannel(Channel):
         cache: NodeArrayCache | None = None,
         *,
         state: NetworkState | None = None,
-    ):
+    ) -> None:
         super().__init__(params)
         if cache is None:
             if state is not None:

@@ -99,7 +99,7 @@ class SINRParameters:
             return None
         return model
 
-    def with_overrides(self, **kwargs) -> "SINRParameters":
+    def with_overrides(self, **kwargs: object) -> "SINRParameters":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 

@@ -56,7 +56,7 @@ class PowerAssignment(ABC):
 class UniformPower(PowerAssignment):
     """Every sender transmits at the same fixed power level."""
 
-    def __init__(self, level: float):
+    def __init__(self, level: float) -> None:
         if level <= 0:
             raise ConfigurationError(f"power level must be positive, got {level}")
         self.level = float(level)
@@ -78,7 +78,7 @@ class UniformPower(PowerAssignment):
 class _LengthPower(PowerAssignment):
     """Base class for oblivious power of the form ``scale * length**exponent``."""
 
-    def __init__(self, exponent: float, scale: float = 1.0):
+    def __init__(self, exponent: float, scale: float = 1.0) -> None:
         if scale <= 0:
             raise ConfigurationError(f"scale must be positive, got {scale}")
         if exponent < 0:
@@ -96,7 +96,7 @@ class _LengthPower(PowerAssignment):
 class MeanPower(_LengthPower):
     """Mean power: ``P(l) = scale * l**(alpha/2)`` (the paper's assignment M)."""
 
-    def __init__(self, alpha: float, scale: float = 1.0):
+    def __init__(self, alpha: float, scale: float = 1.0) -> None:
         super().__init__(exponent=alpha / 2.0, scale=scale)
         self.alpha = float(alpha)
 
@@ -121,7 +121,7 @@ class MeanPower(_LengthPower):
 class LinearPower(_LengthPower):
     """Linear power: ``P(l) = scale * l**alpha`` (the paper's assignment L)."""
 
-    def __init__(self, alpha: float, scale: float = 1.0):
+    def __init__(self, alpha: float, scale: float = 1.0) -> None:
         super().__init__(exponent=alpha, scale=scale)
         self.alpha = float(alpha)
 
@@ -147,7 +147,7 @@ class ExplicitPower(PowerAssignment):
         self,
         assignment: Mapping[tuple[int, int], float] | Mapping[Link, float],
         fallback: PowerAssignment | None = None,
-    ):
+    ) -> None:
         self._powers: dict[tuple[int, int], float] = {}
         for key, value in assignment.items():
             if value <= 0:

@@ -15,10 +15,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._types import FloatArray
+from ..contracts import hot_kernel
+
 __all__ = ["pairwise_distances", "attenuation_from_distances"]
 
 
-def pairwise_distances(xy_a: np.ndarray, xy_b: np.ndarray | None = None) -> np.ndarray:
+@hot_kernel(oracle="hypot", allocates=True)
+def pairwise_distances(xy_a: FloatArray, xy_b: FloatArray | None = None) -> FloatArray:
     """Euclidean distance matrix ``D[i, j] = |xy_a[i] - xy_b[j]|``.
 
     ``xy_b=None`` means ``xy_a`` against itself.  This is the one ``hypot``
@@ -34,7 +38,8 @@ def pairwise_distances(xy_a: np.ndarray, xy_b: np.ndarray | None = None) -> np.n
     return np.hypot(diff[..., 0], diff[..., 1])
 
 
-def attenuation_from_distances(dist: np.ndarray, alpha: float) -> np.ndarray:
+@hot_kernel(oracle="_seed_attenuation", allocates=True)
+def attenuation_from_distances(dist: FloatArray, alpha: float) -> FloatArray:
     """Path-loss denominator ``max(d, 1e-300)**alpha`` with colocated pairs zeroed.
 
     Entries with ``d <= 0`` are stored as ``0.0`` so that dividing a positive

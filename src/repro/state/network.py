@@ -31,12 +31,16 @@ cached channel and any number of link caches at once.
 from __future__ import annotations
 
 import heapq
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 import numpy as np
 
 from ..geometry import Node, Point
 from .kernels import attenuation_from_distances, pairwise_distances
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (dynamics/links use state)
+    from ..dynamics.gain import GainModel
+    from ..links import Link
 
 __all__ = ["NetworkState"]
 
@@ -56,7 +60,11 @@ class NetworkState:
             callers can pre-reserve headroom to defer the first growth).
     """
 
-    def __init__(self, nodes: Iterable[Node] = (), *, capacity: int | None = None):
+    #: Shared-memory blocks anchored by :func:`repro.state.shared.attach_state`
+    #: so the adopted views outlive the exporting process's unlink.
+    _shm_keepalive: list[object]
+
+    def __init__(self, nodes: Iterable[Node] = (), *, capacity: int | None = None) -> None:
         node_list = list(nodes)
         n = len(node_list)
         cap = n if capacity is None else int(capacity)
@@ -156,7 +164,7 @@ class NetworkState:
             )
 
     @classmethod
-    def from_links(cls, links: Iterable, *, capacity: int | None = None) -> "NetworkState":
+    def from_links(cls, links: Iterable["Link"], *, capacity: int | None = None) -> "NetworkState":
         """State over the unique endpoints of a link collection.
 
         Endpoints are deduplicated by node id in first-appearance order
@@ -330,7 +338,7 @@ class NetworkState:
             self._attenuation[alpha] = att
         return att
 
-    def fade_matrix(self, model) -> np.ndarray | None:
+    def fade_matrix(self, model: "GainModel") -> np.ndarray | None:
         """Capacity-sized fade matrix of a slot-invariant gain model (lazy, patched).
 
         Fades are pure functions of node ids, so additions patch the new

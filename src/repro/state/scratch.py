@@ -32,6 +32,8 @@ import math
 
 import numpy as np
 
+from ..contracts import hot_kernel
+
 __all__ = ["DecodeWorkspace"]
 
 
@@ -51,6 +53,8 @@ class DecodeWorkspace:
     allocation and no reshape.
     """
 
+    __slots__ = ("_pools", "_views", "allocations")
+
     def __init__(self) -> None:
         self._pools: dict[str, np.ndarray] = {}
         self._views: dict[str, tuple[tuple[int, ...], str, np.ndarray]] = {}
@@ -58,6 +62,7 @@ class DecodeWorkspace:
         #: reached its high-water mark stops incrementing this.
         self.allocations = 0
 
+    @hot_kernel(allocates=True)
     def _buffer(self, key: str, dtype: str, shape: tuple[int, ...]) -> np.ndarray:
         memo = self._views.get(key)
         if memo is not None and memo[0] == shape and memo[1] == dtype:

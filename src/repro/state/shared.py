@@ -90,7 +90,9 @@ def _attach_array(spec: SharedArraySpec) -> tuple[np.ndarray, shared_memory.Shar
 class StateExport:
     """Parent-side handle of an exported state; owns the shm blocks."""
 
-    def __init__(self, spec: SharedStateSpec, blocks: list[shared_memory.SharedMemory]):
+    __slots__ = ("spec", "_blocks")
+
+    def __init__(self, spec: SharedStateSpec, blocks: list[shared_memory.SharedMemory]) -> None:
         self.spec = spec
         self._blocks = blocks
 
@@ -107,7 +109,7 @@ class StateExport:
     def __enter__(self) -> "StateExport":
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.close()
 
 
@@ -185,5 +187,7 @@ def attach_state(spec: SharedStateSpec) -> NetworkState:
         keepalive.append(block)
         attenuation[alpha] = matrix
     state = NetworkState.from_arrays(xy, ids, distances=distances, attenuation=attenuation)
-    state._shm_keepalive = keepalive  # noqa: SLF001 - lifetime anchor, see docstring
+    # The blocks must outlive the adopted views; anchoring them on the state
+    # this function itself just created is the deliberate exception.
+    state._shm_keepalive = keepalive  # noqa: SLF001  # repro-lint: disable=RL004
     return state

@@ -36,6 +36,11 @@ def _node(node_id: int, rng: np.random.Generator) -> Node:
     return Node(id=node_id, position=Point(float(x), float(y)))
 
 
+def _seed_attenuation(dist: np.ndarray, alpha: float) -> np.ndarray:
+    """Seed-convention oracle for :func:`attenuation_from_distances`."""
+    return np.where(dist <= 0, 0.0, np.maximum(dist, 1e-300) ** alpha)
+
+
 def _materialize(state: NetworkState) -> None:
     state.distance_matrix()
     for alpha in ALPHAS:
@@ -66,6 +71,13 @@ class TestKernels:
         expected = np.hypot(a[:, None, 0] - b[None, :, 0], a[:, None, 1] - b[None, :, 1])
         assert np.array_equal(pairwise_distances(a, b), expected)
         assert np.array_equal(pairwise_distances(a), pairwise_distances(a, a))
+
+    def test_attenuation_matches_seed_convention_exactly(self, rng):
+        """Parity oracle: ``d**alpha`` with colocated pairs stored as zero."""
+        dist = rng.uniform(0.0, 10.0, size=(7, 7))
+        np.fill_diagonal(dist, 0.0)
+        expected = _seed_attenuation(dist, 3.5)
+        assert np.array_equal(attenuation_from_distances(dist, 3.5), expected)
 
     def test_attenuation_kernel_convention(self):
         dist = np.array([[0.0, 2.0], [3.0, 0.0]])

@@ -32,6 +32,7 @@ from repro.sinr import (
     sinr_values,
 )
 from repro.core.power_solver import gain_matrix
+from repro.sinr.arrays import affectance_matrix_from_arrays, sinr_values_from_arrays
 
 from .conftest import make_node
 
@@ -134,6 +135,36 @@ PARAM_SETS = [
 
 
 # -- bit-for-bit parity ------------------------------------------------------
+
+
+def _arrays_from_links(links, power):
+    """The precomputed inputs of the ``*_from_arrays`` kernels, from links."""
+    sender_xy = np.array([[l.sender.x, l.sender.y] for l in links], dtype=float)
+    receiver_xy = np.array([[l.receiver.x, l.receiver.y] for l in links], dtype=float)
+    diff = sender_xy[:, None, :] - receiver_xy[None, :, :]
+    dist = np.hypot(diff[..., 0], diff[..., 1])
+    sender_ids = np.array([l.sender.id for l in links])
+    same_sender = sender_ids[:, None] == sender_ids[None, :]
+    lengths = np.array([l.length for l in links], dtype=float)
+    powers = np.array(power.powers(links), dtype=float)
+    return dist, same_sender, lengths, powers
+
+
+@pytest.mark.parametrize("seed,count", [(5, 8), (6, 24)])
+@pytest.mark.parametrize("params", PARAM_SETS)
+def test_from_arrays_kernels_match_seed_exactly(seed, count, params):
+    """Direct parity oracle for the registered array kernels."""
+    links = _random_links(seed, count)
+    for power in _power_schemes(links, params):
+        dist, same_sender, lengths, powers = _arrays_from_links(links, power)
+        assert np.array_equal(
+            affectance_matrix_from_arrays(dist, same_sender, lengths, powers, params),
+            _seed_affectance_matrix(links, power, params),
+        )
+        assert np.array_equal(
+            sinr_values_from_arrays(dist, same_sender, lengths, powers, params),
+            _seed_sinr_values(links, power, params),
+        )
 
 
 @pytest.mark.parametrize("seed,count", [(1, 8), (2, 20), (3, 40), (4, 64)])

@@ -1,0 +1,5 @@
+"""Repository tooling (static analysis, maintenance scripts).
+
+Not part of the installable ``repro`` package; imported from the repo root
+(the test-suite ``conftest.py`` puts the repo root on ``sys.path``).
+"""

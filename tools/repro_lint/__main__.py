@@ -1,0 +1,9 @@
+"""Entry point for ``python -m tools.repro_lint``."""
+
+from __future__ import annotations
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,70 @@
+"""Small AST helpers shared by the repro-lint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+__all__ = [
+    "call_name",
+    "dotted_parts",
+    "enclosing_functions",
+    "is_numpy_attr",
+    "root_name",
+]
+
+
+def dotted_parts(node: ast.expr) -> tuple[str, ...]:
+    """``a.b.c`` -> ``("a", "b", "c")``; empty tuple if not a dotted name."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return ()
+
+
+def root_name(node: ast.expr) -> str | None:
+    """Base variable of an attribute/subscript chain: ``a.b[0].c`` -> ``a``."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def call_name(node: ast.Call) -> str:
+    """Last dotted component of the callee: ``np.random.default_rng`` -> ``default_rng``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def is_numpy_attr(node: ast.expr, *names: str) -> bool:
+    """True if ``node`` is ``np.X``/``numpy.X`` with ``X`` in ``names``."""
+    parts = dotted_parts(node)
+    return (
+        len(parts) == 2
+        and parts[0] in ("np", "numpy")
+        and (not names or parts[1] in names)
+    )
+
+
+def enclosing_functions(tree: ast.Module) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+    """Yield ``(qualname, def)`` for every function in the module, outermost first."""
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[tuple[str, ast.FunctionDef | ast.AsyncFunctionDef]]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                yield qualname, child
+                yield from visit(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+
+    yield from visit(tree, "")

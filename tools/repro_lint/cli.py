@@ -1,0 +1,68 @@
+"""Command-line interface: ``python -m tools.repro_lint [paths...]``.
+
+Exit status is 0 when no *error*-severity findings survive suppression and
+baseline filtering; warnings are reported but never gate.  ``--write-baseline``
+records the current error fingerprints so a gate can be introduced on an
+imperfect tree — this repo's policy (see ISSUE 6) is that the committed
+baseline stays empty except for deliberate, commented exceptions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .engine import lint_paths
+from .reporters import render_json, render_text
+
+__all__ = ["main"]
+
+_DEFAULT_BASELINE = Path(__file__).resolve().parent / "baseline.txt"
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.repro_lint",
+        description="AST-based invariant checker for the repro codebase.",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline", type=Path, default=_DEFAULT_BASELINE,
+        help="baseline file of grandfathered finding fingerprints",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="append current unsuppressed error fingerprints to the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--tests", type=Path, default=Path("tests"),
+        help="test corpus scanned by the parity-coverage rule (default: tests/)",
+    )
+    args = parser.parse_args(argv)
+
+    tests_dir = args.tests if args.tests.exists() else None
+    result = lint_paths(args.paths, tests_dir=tests_dir, baseline_path=args.baseline)
+
+    if args.write_baseline:
+        existing = args.baseline.read_text(encoding="utf-8") if args.baseline.exists() else ""
+        with args.baseline.open("a", encoding="utf-8") as handle:
+            if existing and not existing.endswith("\n"):
+                handle.write("\n")
+            for finding in result.errors:
+                handle.write(f"{finding.fingerprint}\n")
+        print(f"repro-lint: wrote {len(result.errors)} fingerprint(s) to {args.baseline}")
+        return 0
+
+    report = render_json(result) if args.fmt == "json" else render_text(result)
+    print(report)
+    return result.exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,305 @@
+"""Core engine of repro-lint: modules, findings, suppression and baseline.
+
+The engine is deliberately dependency-free (stdlib ``ast`` only) and never
+imports the code under analysis — kernels registered with
+``@hot_kernel(...)`` are recognised *syntactically* from their decorators, so
+the linter works on broken or import-cycling trees and in pre-commit hooks.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "KernelInfo",
+    "LintResult",
+    "Module",
+    "Project",
+    "lint_paths",
+    "lint_source",
+]
+
+#: Inline suppression syntax: ``# repro-lint: disable=RL001,RL004`` (or ``all``).
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+#: Decorator names that register a function as a hot kernel (see
+#: ``repro.contracts.hot_kernel``).
+_KERNEL_DECORATOR = "hot_kernel"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to a file location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    end_line: int
+    severity: str = "error"  # "error" | "warning"
+    symbol: str = ""  # enclosing function/class qualname, if any
+
+    @property
+    def fingerprint(self) -> str:
+        """Location-insensitive identity used by the baseline file.
+
+        Line numbers are deliberately excluded so baselined findings survive
+        unrelated edits above them; the (code, path, symbol, message) tuple
+        pins them tightly enough in practice.
+        """
+        digest = hashlib.sha1(self.message.encode("utf-8")).hexdigest()[:12]
+        return f"{self.code}:{self.path}:{self.symbol or '<module>'}:{digest}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "end_line": self.end_line,
+            "severity": self.severity,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint,
+        }
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """A function statically registered as a hot kernel via ``@hot_kernel``."""
+
+    node: ast.FunctionDef
+    qualname: str
+    oracle: str | None
+    allocates: bool
+
+
+class Module:
+    """One parsed source file plus its suppressions and kernel registrations."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source, filename=path)
+        self.lines = source.splitlines()
+        #: line number -> set of suppressed codes ("all" suppresses everything)
+        self.suppressions: dict[int, set[str]] = {}
+        for lineno, text in enumerate(self.lines, start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match:
+                codes = {part.strip().upper() if part.strip() != "all" else "all"
+                         for part in match.group(1).split(",") if part.strip()}
+                self.suppressions[lineno] = codes
+        self.kernels: list[KernelInfo] = list(_collect_kernels(self.tree))
+        #: Name ids and attribute names appearing anywhere in the module; the
+        #: parity rule (RL005) uses this as a cheap "references X" predicate.
+        self.identifiers: set[str] = set()
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Name):
+                self.identifiers.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                self.identifiers.add(node.attr)
+
+    @property
+    def is_src(self) -> bool:
+        """True for library modules (style rules only apply to these)."""
+        parts = Path(self.path).parts
+        return not ({"scripts", "benchmarks", "tests", "examples"} & set(parts))
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        last = min(finding.end_line, finding.line + 200)
+        for lineno in range(finding.line, last + 1):
+            codes = self.suppressions.get(lineno)
+            if codes and ("all" in codes or finding.code in codes):
+                return True
+        return False
+
+
+def _decorator_parts(node: ast.expr) -> tuple[str, ...]:
+    """Dotted-name parts of a decorator expression (empty if not a name)."""
+    target = node.func if isinstance(node, ast.Call) else node
+    parts: list[str] = []
+    while isinstance(target, ast.Attribute):
+        parts.append(target.attr)
+        target = target.value
+    if isinstance(target, ast.Name):
+        parts.append(target.id)
+    return tuple(reversed(parts))
+
+
+def _collect_kernels(tree: ast.Module) -> Iterator[KernelInfo]:
+    """Find every function decorated with ``@hot_kernel(...)``, statically."""
+
+    def visit(node: ast.AST, prefix: str) -> Iterator[KernelInfo]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qualname = f"{prefix}{child.name}"
+                for deco in child.decorator_list:
+                    parts = _decorator_parts(deco)
+                    if parts and parts[-1] == _KERNEL_DECORATOR:
+                        oracle: str | None = None
+                        allocates = False
+                        if isinstance(deco, ast.Call):
+                            for kw in deco.keywords:
+                                if kw.arg == "oracle" and isinstance(kw.value, ast.Constant):
+                                    oracle = kw.value.value
+                                elif kw.arg == "allocates" and isinstance(kw.value, ast.Constant):
+                                    allocates = bool(kw.value.value)
+                        if isinstance(child, ast.FunctionDef):
+                            yield KernelInfo(child, qualname, oracle, allocates)
+                        break
+                yield from visit(child, f"{qualname}.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+
+    yield from visit(tree, "")
+
+
+class Project:
+    """Everything a rule may need: the linted modules plus the test corpus."""
+
+    def __init__(self, modules: Sequence[Module], tests: Sequence[Module] = ()) -> None:
+        self.modules = list(modules)
+        self.tests = list(tests)
+
+    @property
+    def kernels(self) -> list[tuple[Module, KernelInfo]]:
+        return [(mod, kernel) for mod in self.modules for kernel in mod.kernels]
+
+
+@dataclass
+class LintResult:
+    """Outcome of a lint run, after suppression and baseline filtering."""
+
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: int = 0
+    files: int = 0
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+
+def _iter_py_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def load_baseline(path: Path | None) -> set[str]:
+    """Read a baseline file: one fingerprint per line, ``#`` comments allowed."""
+    if path is None or not path.exists():
+        return set()
+    fingerprints: set[str] = set()
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line and not line.startswith("#"):
+            fingerprints.add(line)
+    return fingerprints
+
+
+def _run_rules(project: Project, rules: Sequence[object]) -> list[tuple[Module | None, Finding]]:
+    raw: list[tuple[Module | None, Finding]] = []
+    for rule in rules:
+        for module in project.modules:
+            raw.extend((module, finding) for finding in rule.check(module))
+        finalize = getattr(rule, "finalize", None)
+        if finalize is not None:
+            for finding in finalize(project):
+                owner = next((m for m in project.modules if m.path == finding.path), None)
+                raw.append((owner, finding))
+    return raw
+
+
+def _filter(
+    raw: list[tuple[Module | None, Finding]],
+    baseline: set[str],
+    files: int,
+) -> LintResult:
+    result = LintResult(files=files)
+    for module, finding in raw:
+        if module is not None and module.is_suppressed(finding):
+            result.suppressed += 1
+        elif finding.fingerprint in baseline:
+            result.baselined += 1
+        else:
+            result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return result
+
+
+def _default_rules() -> list[object]:
+    from .rules import all_rules
+
+    return all_rules()
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    tests_dir: str | Path | None = "tests",
+    baseline_path: Path | None = None,
+    rules: Sequence[object] | None = None,
+) -> LintResult:
+    """Lint files/directories on disk; the main entry point behind the CLI."""
+    modules: list[Module] = []
+    for file_path in _iter_py_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            modules.append(Module(str(file_path), source))
+        except (SyntaxError, UnicodeDecodeError) as err:
+            modules_finding = Finding(
+                code="RL000",
+                message=f"could not parse file: {err}",
+                path=str(file_path),
+                line=getattr(err, "lineno", 1) or 1,
+                end_line=getattr(err, "lineno", 1) or 1,
+            )
+            return LintResult(findings=[modules_finding], files=1)
+    tests: list[Module] = []
+    if tests_dir is not None:
+        for file_path in _iter_py_files([tests_dir]):
+            try:
+                tests.append(Module(str(file_path), file_path.read_text(encoding="utf-8")))
+            except (SyntaxError, UnicodeDecodeError):  # pragma: no cover - defensive
+                continue
+    project = Project(modules, tests)
+    raw = _run_rules(project, list(rules) if rules is not None else _default_rules())
+    return _filter(raw, load_baseline(baseline_path), files=len(modules))
+
+
+def lint_source(
+    source: str,
+    *,
+    filename: str = "src/fixture.py",
+    test_sources: dict[str, str] | None = None,
+    rules: Sequence[object] | None = None,
+) -> list[Finding]:
+    """Lint an in-memory snippet; the fixture-test entry point.
+
+    ``filename`` participates in path-sensitive rules (style rules only fire
+    for src-like paths), and ``test_sources`` populates the test corpus the
+    parity rule scans.
+    """
+    module = Module(filename, source)
+    tests = [Module(name, text) for name, text in (test_sources or {}).items()]
+    project = Project([module], tests)
+    raw = _run_rules(project, list(rules) if rules is not None else _default_rules())
+    return _filter(raw, set(), files=1).findings

@@ -1,0 +1,50 @@
+"""Text and JSON reporters for repro-lint results.
+
+Both reporters render the *same* :class:`~tools.repro_lint.engine.LintResult`
+and agree on counts by construction; the round-trip test in
+``tests/test_repro_lint.py`` pins that.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .engine import LintResult
+
+__all__ = ["render_json", "render_text", "summary_counts"]
+
+
+def summary_counts(result: LintResult) -> dict[str, int]:
+    """The shared summary both reporters embed."""
+    return {
+        "files": result.files,
+        "errors": len(result.errors),
+        "warnings": len(result.warnings),
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+    }
+
+
+def render_text(result: LintResult) -> str:
+    lines = []
+    for finding in result.findings:
+        location = f"{finding.path}:{finding.line}"
+        symbol = f" [{finding.symbol}]" if finding.symbol else ""
+        lines.append(
+            f"{location}: {finding.code} {finding.severity}: {finding.message}{symbol}"
+        )
+    counts = summary_counts(result)
+    lines.append(
+        f"repro-lint: {counts['files']} file(s), {counts['errors']} error(s), "
+        f"{counts['warnings']} warning(s)"
+        f" ({counts['suppressed']} suppressed, {counts['baselined']} baselined)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    payload = {
+        "findings": [finding.as_dict() for finding in result.findings],
+        "summary": summary_counts(result),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,58 @@
+"""Rule plugins for repro-lint.
+
+Each rule is a class with a unique ``code`` (``RL###``), a per-module
+``check(module)`` hook, and an optional project-wide ``finalize(project)``
+hook (used by cross-file rules such as the parity-coverage check).  Adding a
+rule means adding a class here and listing it in :func:`all_rules` — the
+engine, CLI, reporters and suppression machinery pick it up unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..engine import Finding, Module, Project
+
+__all__ = ["Rule", "all_rules"]
+
+
+class Rule:
+    """Base class: a no-op rule with a code and an error severity."""
+
+    code = "RL000"
+    name = "base"
+    severity = "error"
+
+    def check(self, module: "Module") -> Iterable["Finding"]:
+        return ()
+
+    def finalize(self, project: "Project") -> Iterable["Finding"]:
+        return ()
+
+
+def all_rules() -> list[Rule]:
+    """Instantiate every registered rule, in code order."""
+    from .alloc import NoAllocInHotKernel
+    from .aliasing import OutAliasing
+    from .rng import RngDiscipline
+    from .shared_state import SharedStateMutation
+    from .parity import ParityOracleCoverage
+    from .hygiene import (
+        BareExcept,
+        MissingDunderAll,
+        MutableDefaultArg,
+        SlotsOrDataclass,
+    )
+
+    return [
+        NoAllocInHotKernel(),
+        OutAliasing(),
+        RngDiscipline(),
+        SharedStateMutation(),
+        ParityOracleCoverage(),
+        SlotsOrDataclass(),
+        MissingDunderAll(),
+        MutableDefaultArg(),
+        BareExcept(),
+    ]

@@ -1,0 +1,87 @@
+"""RL002 — an ``out=`` destination may not alias a read operand.
+
+In-place ufunc application (``np.add(total, x, out=total)``) is well defined
+for *elementwise* ufuncs and is exactly what the arena kernels do.  What is
+not defined is partial overlap — ``out=`` pointing into a *view* of an
+operand (``np.multiply(a, b, out=a[1:])``) — and aliasing the operand of a
+reduction or gather (``np.maximum.reduce(x, out=x[0])``,
+``np.take(base, idx, out=base)``), where the destination is written while
+the source is still being read.
+
+The rule is syntactic: it compares the ``out=`` expression against each read
+operand.  An *identical* whole operand is allowed for plain elementwise
+calls and flagged for reductions/gathers; any other expression sharing the
+out-operand's base variable is flagged as a potential partial alias.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..astutil import call_name, root_name
+from ..engine import Finding, Module
+from . import Rule
+
+__all__ = ["OutAliasing"]
+
+#: ufunc methods and functions where even an exact operand alias is unsafe
+#: (the destination is consumed at a different shape/order than it is read).
+_REDUCING = frozenset({
+    "reduce", "accumulate", "reduceat", "outer", "at",
+    "argmax", "argmin", "take", "dot", "matmul", "cumsum", "cumprod",
+    "sort", "partition", "mean", "sum", "prod",
+})
+
+
+class OutAliasing(Rule):
+    code = "RL002"
+    name = "out-aliasing"
+    severity = "error"
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            out_kw = next((kw for kw in node.keywords if kw.arg == "out"), None)
+            if out_kw is None:
+                continue
+            out_root = root_name(out_kw.value)
+            if out_root is None:  # e.g. out=ws.floats(...): nothing to track
+                continue
+            out_dump = ast.dump(out_kw.value)
+            reducing = call_name(node) in _REDUCING
+            operands = list(node.args) + [
+                kw.value for kw in node.keywords if kw.arg not in (None, "out")
+            ]
+            for operand in operands:
+                if isinstance(operand, ast.Constant):
+                    continue
+                if ast.dump(operand) == out_dump:
+                    if reducing:
+                        findings.append(self._finding(
+                            module, node,
+                            f"out= aliases operand '{out_root}' in a reducing/"
+                            f"gathering call ('{call_name(node)}'); the source is "
+                            "read at a different shape than it is written",
+                        ))
+                    continue  # exact elementwise in-place update: allowed
+                if out_root in {n.id for n in ast.walk(operand) if isinstance(n, ast.Name)}:
+                    findings.append(self._finding(
+                        module, node,
+                        f"out= writes into '{out_root}' while a read operand "
+                        "references it through a different expression (potential "
+                        "partial/broadcast alias)",
+                    ))
+        return findings
+
+    def _finding(self, module: Module, node: ast.Call, message: str) -> Finding:
+        return Finding(
+            code=self.code,
+            message=message,
+            path=module.path,
+            line=node.lineno,
+            end_line=node.end_lineno or node.lineno,
+            severity=self.severity,
+        )

@@ -1,0 +1,124 @@
+"""RL001 — no allocation inside a registered hot kernel.
+
+The decode kernels behind :class:`~repro.state.DecodeWorkspace` promise
+*zero allocations at steady state*: every temporary comes from the arena and
+every ufunc writes through ``out=``.  This rule bans the allocation idioms —
+``np.zeros``/``np.empty``/``np.concatenate``-style constructors, ``.copy()``
+calls, comprehensions, and fresh-array broadcasting arithmetic — inside any
+function registered via ``@hot_kernel(...)`` without ``allocates=True``.
+
+Kernels keep their allocating *fallback* branch (the ``workspace is None``
+path used by one-shot callers): statements guarded by a ``workspace is
+None`` test are exempt, only the arena path is held to the contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..astutil import dotted_parts
+from ..engine import Finding, Module
+from . import Rule
+
+__all__ = ["NoAllocInHotKernel"]
+
+#: numpy constructors that always materialize a fresh array.
+_ALLOC_FUNCS = frozenset({
+    "zeros", "empty", "ones", "full", "eye", "identity",
+    "arange", "linspace", "logspace", "array", "copy",
+    "concatenate", "stack", "vstack", "hstack", "dstack", "column_stack",
+    "tile", "repeat", "fromiter", "frombuffer", "meshgrid",
+    "zeros_like", "ones_like", "empty_like", "full_like",
+})
+
+
+def _is_workspace_fallback(test: ast.expr) -> bool:
+    """True for tests containing ``workspace is None`` (incl. inside or-chains)."""
+    for node in ast.walk(test):
+        if (
+            isinstance(node, ast.Compare)
+            and len(node.ops) == 1
+            and isinstance(node.ops[0], ast.Is)
+            and isinstance(node.left, ast.Name)
+            and node.left.id == "workspace"
+            and isinstance(node.comparators[0], ast.Constant)
+            and node.comparators[0].value is None
+        ):
+            return True
+    return False
+
+
+def _iter_arena_nodes(node: ast.AST) -> Iterator[ast.AST]:
+    """Walk an AST, skipping bodies guarded by a ``workspace is None`` test."""
+    if isinstance(node, ast.If) and _is_workspace_fallback(node.test):
+        for stmt in node.orelse:
+            yield from _iter_arena_nodes(stmt)
+        return
+    if isinstance(node, ast.IfExp) and _is_workspace_fallback(node.test):
+        yield from _iter_arena_nodes(node.orelse)
+        return
+    yield node
+    for child in ast.iter_child_nodes(node):
+        yield from _iter_arena_nodes(child)
+
+
+def _has_broadcast_subscript(node: ast.expr) -> bool:
+    """``a[:, None]``-style reshape inside an expression (fresh-array idiom)."""
+    for sub in ast.walk(node):
+        if not isinstance(sub, ast.Subscript):
+            continue
+        elements = sub.slice.elts if isinstance(sub.slice, ast.Tuple) else [sub.slice]
+        for element in elements:
+            if isinstance(element, ast.Constant) and element.value is None:
+                return True
+    return False
+
+
+class NoAllocInHotKernel(Rule):
+    code = "RL001"
+    name = "no-alloc-in-hot-kernel"
+    severity = "error"
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for kernel in module.kernels:
+            if kernel.allocates:
+                continue
+            for stmt in kernel.node.body:
+                for node in _iter_arena_nodes(stmt):
+                    reason = self._allocation_reason(node)
+                    if reason is not None:
+                        findings.append(Finding(
+                            code=self.code,
+                            message=(
+                                f"hot kernel '{kernel.qualname}' {reason} on its arena "
+                                "path; draw scratch from the DecodeWorkspace (or "
+                                "register the kernel with allocates=True)"
+                            ),
+                            path=module.path,
+                            line=getattr(node, "lineno", kernel.node.lineno),
+                            end_line=getattr(node, "end_lineno", kernel.node.lineno),
+                            severity=self.severity,
+                            symbol=kernel.qualname,
+                        ))
+        return findings
+
+    @staticmethod
+    def _allocation_reason(node: ast.AST) -> str | None:
+        if isinstance(node, ast.Call):
+            func = node.func
+            parts = dotted_parts(func)
+            if parts and parts[0] in ("np", "numpy") and parts[-1] in _ALLOC_FUNCS:
+                return f"allocates via np.{parts[-1]}(...)"
+            if isinstance(func, ast.Name) and func.id in _ALLOC_FUNCS:
+                return f"allocates via {func.id}(...)"
+            if isinstance(func, ast.Attribute) and func.attr == "copy" and not node.args:
+                return "copies an array via .copy()"
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            return "builds a container with a comprehension"
+        if isinstance(node, ast.BinOp) and (
+            _has_broadcast_subscript(node.left) or _has_broadcast_subscript(node.right)
+        ):
+            return "materializes a fresh broadcast array (a[:, None]-style arithmetic)"
+        return None

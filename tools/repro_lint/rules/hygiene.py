@@ -1,0 +1,193 @@
+"""General hygiene rules: RL006–RL009.
+
+* **RL006 slots-or-dataclass** *(warning)* — a plain data-holder class (an
+  ``__init__`` that only assigns attributes) should either be a dataclass or
+  declare ``__slots__``: the hot paths create these per slot/trial, and slots
+  both shrink them and turn attribute typos into errors.
+* **RL007 missing-dunder-all** *(warning)* — a library module with public
+  top-level definitions should declare ``__all__`` so the re-exporting
+  package ``__init__``s and star-imports stay deliberate.
+* **RL008 mutable-default-arg** *(error)* — the classic shared-mutable-state
+  bug; defaults are evaluated once per process, which in a forked worker
+  pool also means *shared across trials*.
+* **RL009 bare-except** *(error)* — ``except:`` always, and
+  ``except Exception/BaseException`` unless the handler re-raises: swallowing
+  errors inside worker processes turns contract violations into silent wrong
+  numbers.
+
+RL006/RL007 only fire for library modules (paths outside
+``scripts/``/``benchmarks/``/``tests/``/``examples/``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..astutil import dotted_parts
+from ..engine import Finding, Module
+from . import Rule
+
+__all__ = ["BareExcept", "MissingDunderAll", "MutableDefaultArg", "SlotsOrDataclass"]
+
+
+def _finding(rule: Rule, module: Module, node: ast.AST, message: str, symbol: str = "") -> Finding:
+    return Finding(
+        code=rule.code,
+        message=message,
+        path=module.path,
+        line=node.lineno,
+        end_line=getattr(node, "end_lineno", node.lineno) or node.lineno,
+        severity=rule.severity,
+        symbol=symbol,
+    )
+
+
+class SlotsOrDataclass(Rule):
+    code = "RL006"
+    name = "slots-or-dataclass"
+    severity = "warning"
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        if not module.is_src:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or node.bases or node.keywords:
+                continue  # subclasses need cooperating bases; skip them
+            decorators = [d.func if isinstance(d, ast.Call) else d for d in node.decorator_list]
+            if any(dotted_parts(d)[-1:] == ("dataclass",) for d in decorators):
+                continue
+            has_slots = any(
+                isinstance(item, ast.Assign)
+                and any(isinstance(t, ast.Name) and t.id == "__slots__" for t in item.targets)
+                for item in node.body
+            )
+            if has_slots:
+                continue
+            init = next(
+                (item for item in node.body
+                 if isinstance(item, ast.FunctionDef) and item.name == "__init__"),
+                None,
+            )
+            if init is None or not _is_plain_attribute_init(init):
+                continue
+            yield _finding(
+                self, module, node,
+                f"class '{node.name}' is a plain attribute holder; declare "
+                "__slots__ or make it a dataclass",
+                symbol=node.name,
+            )
+
+
+def _is_plain_attribute_init(init: ast.FunctionDef) -> bool:
+    """True when ``__init__`` only assigns ``self.*`` (docstring allowed)."""
+    saw_assign = False
+    for index, stmt in enumerate(init.body):
+        if (
+            index == 0
+            and isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and isinstance(stmt.value.value, str)
+        ):
+            continue  # docstring
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            if all(
+                isinstance(t, ast.Attribute)
+                and isinstance(t.value, ast.Name)
+                and t.value.id == "self"
+                for t in targets
+            ):
+                saw_assign = True
+                continue
+        return False
+    return saw_assign
+
+
+class MissingDunderAll(Rule):
+    code = "RL007"
+    name = "missing-dunder-all"
+    severity = "warning"
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        if not module.is_src:
+            return
+        public = [
+            node.name
+            for node in module.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef))
+            and not node.name.startswith("_")
+        ]
+        if not public:
+            return
+        has_all = any(
+            isinstance(node, ast.Assign)
+            and any(isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets)
+            for node in module.tree.body
+        )
+        if not has_all:
+            yield _finding(
+                self, module, module.tree.body[0],
+                f"module defines public names ({', '.join(sorted(public)[:4])}"
+                f"{', ...' if len(public) > 4 else ''}) but no __all__",
+            )
+
+
+class MutableDefaultArg(Rule):
+    code = "RL008"
+    name = "mutable-default-arg"
+    severity = "error"
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for default in list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]:
+                mutable = isinstance(default, (ast.List, ast.Dict, ast.Set)) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in ("list", "dict", "set", "bytearray")
+                )
+                if mutable:
+                    yield _finding(
+                        self, module, default,
+                        f"mutable default argument in '{node.name}' is shared "
+                        "across calls (and across forked workers); default to "
+                        "None and create it inside",
+                        symbol=node.name,
+                    )
+
+
+class BareExcept(Rule):
+    code = "RL009"
+    name = "bare-except"
+    severity = "error"
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield _finding(
+                    self, module, node,
+                    "bare 'except:' swallows SystemExit/KeyboardInterrupt; name "
+                    "the exceptions you can actually handle",
+                )
+                continue
+            names = {dotted_parts(t)[-1] if dotted_parts(t) else "" for t in (
+                node.type.elts if isinstance(node.type, ast.Tuple) else [node.type]
+            )}
+            if names & {"Exception", "BaseException"}:
+                reraises = any(
+                    isinstance(sub, ast.Raise) and sub.exc is None
+                    for sub in ast.walk(node)
+                )
+                if not reraises:
+                    yield _finding(
+                        self, module, node,
+                        "overbroad 'except Exception' without re-raise hides "
+                        "contract violations; catch specific exceptions or "
+                        "re-raise after cleanup",
+                    )

@@ -1,0 +1,69 @@
+"""RL005 — every public hot kernel is parity-tested against its oracle.
+
+PRs 4–5 displaced the readable reference implementations with arena kernels;
+the safety net is the *parity oracle*: a slow-but-obvious counterpart
+(``decode_reference``, the ``hypot`` expression, the allocating
+``decode_arrays`` path) that some test compares bit-for-bit against the hot
+kernel.  This rule makes the net load-bearing:
+
+* a public kernel registered via ``@hot_kernel(...)`` must declare an
+  ``oracle="..."`` counterpart, and
+* at least one file under ``tests/`` must reference **both** the kernel and
+  its oracle (by name), i.e. the pair is exercised together somewhere.
+
+Private kernels (leading underscore) are exempt — they are reached through
+their public wrappers, which carry the contract.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..engine import Finding, Project
+from . import Rule
+
+__all__ = ["ParityOracleCoverage"]
+
+
+class ParityOracleCoverage(Rule):
+    code = "RL005"
+    name = "parity-oracle-coverage"
+    severity = "error"
+
+    def finalize(self, project: Project) -> Iterable[Finding]:
+        for module, kernel in project.kernels:
+            func_name = kernel.qualname.rsplit(".", 1)[-1]
+            if func_name.startswith("_"):
+                continue
+            if kernel.oracle is None:
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"public hot kernel '{kernel.qualname}' declares no parity "
+                        "oracle; register it with oracle=\"<reference counterpart>\""
+                    ),
+                    path=module.path,
+                    line=kernel.node.lineno,
+                    end_line=kernel.node.lineno,
+                    severity=self.severity,
+                    symbol=kernel.qualname,
+                )
+                continue
+            covered = any(
+                func_name in test.identifiers and kernel.oracle in test.identifiers
+                for test in project.tests
+            )
+            if not covered:
+                yield Finding(
+                    code=self.code,
+                    message=(
+                        f"no test references hot kernel '{func_name}' together with "
+                        f"its oracle '{kernel.oracle}'; add a bit-for-bit parity test "
+                        "under tests/"
+                    ),
+                    path=module.path,
+                    line=kernel.node.lineno,
+                    end_line=kernel.node.lineno,
+                    severity=self.severity,
+                    symbol=kernel.qualname,
+                )
