@@ -1,0 +1,99 @@
+"""Netsim benchmark: the message runtime's overhead over the lockstep engine.
+
+Runs the same ``Init`` instance three ways:
+
+* **lockstep**: the batch-engine oracle (``InitialTreeBuilder``);
+* **netsim zero-fault**: the message runtime over a perfect transport - must
+  produce the bit-identical trace and tree (asserted on every run, timed or
+  not: this is the parity pin the whole package rests on);
+* **netsim lossy**: 10% drops, to record what fault injection itself costs.
+
+The headline number is the zero-fault netsim run; the printed ratio against
+lockstep is the price of the transport seam (delivery filtering, heartbeats,
+the failure detector).  In timed runs the zero-fault seam must stay within
+``OVERHEAD_CEILING`` of the lockstep engine - the runtime is a testing
+instrument, not a replacement engine, but an order-of-magnitude regression
+would make the chaos suite unusably slow.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core import InitialTreeBuilder
+from repro.geometry import deployment_by_name
+from repro.netsim import FaultPlan, NetInitBuilder
+from repro.sinr import SINRParameters
+
+N_NODES = 96
+SEED = 17
+#: Zero-fault netsim slowdown over lockstep tolerated in timed runs.
+OVERHEAD_CEILING = 6.0
+
+
+def _nodes():
+    return deployment_by_name("uniform", N_NODES, np.random.default_rng(SEED))
+
+
+def _run_lockstep(params):
+    return InitialTreeBuilder(params).build(_nodes(), np.random.default_rng(SEED + 1))
+
+
+def _run_netsim(params, plan=None):
+    return NetInitBuilder(params, plan=plan).build(
+        _nodes(), np.random.default_rng(SEED + 1)
+    )
+
+
+def _timed(fn, repeats):
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _assert_parity(oracle, outcome):
+    assert outcome.tree.root_id == oracle.tree.root_id
+    assert outcome.tree.parent == oracle.tree.parent
+    assert outcome.slots_used == oracle.slots_used
+    assert outcome.trace.records == oracle.trace.records
+
+
+def bench_netsim(benchmark):
+    params = SINRParameters()
+    oracle = _run_lockstep(params)
+
+    if not benchmark.enabled:
+        # Blocking CI smoke: the parity pin always runs; wall-clock ratios on
+        # shared runners never gate merges.
+        _assert_parity(oracle, _run_netsim(params))
+        lossy = _run_netsim(params, FaultPlan(seed=SEED, drop_prob=0.10))
+        lossy.tree.validate()
+        benchmark.pedantic(lambda: _run_netsim(params), rounds=1, iterations=1)
+        return
+
+    lockstep_time, _ = _timed(lambda: _run_lockstep(params), repeats=2)
+    netsim_time, outcome = _timed(lambda: _run_netsim(params), repeats=2)
+    _assert_parity(oracle, outcome)
+    benchmark.pedantic(lambda: _run_netsim(params), rounds=1, iterations=1)
+
+    lossy_plan = FaultPlan(seed=SEED, drop_prob=0.10)
+    lossy_time, lossy = _timed(lambda: _run_netsim(params, lossy_plan), repeats=2)
+    lossy.tree.validate()
+
+    ratio = netsim_time / max(lockstep_time, 1e-9)
+    print()
+    print(
+        f"netsim Init {N_NODES} nodes: lockstep {lockstep_time:.3f}s, "
+        f"netsim zero-fault {netsim_time:.3f}s ({ratio:.2f}x), "
+        f"netsim 10% loss {lossy_time:.3f}s "
+        f"({lossy.slots_used}/{oracle.slots_used} slots)"
+    )
+    assert ratio <= OVERHEAD_CEILING, (
+        f"zero-fault netsim runtime is {ratio:.1f}x the lockstep engine "
+        f"(ceiling: {OVERHEAD_CEILING}x)"
+    )

@@ -1,5 +1,6 @@
-"""Analysis: metrics, latency replay, validation, reporting."""
+"""Analysis: metrics, latency replay, fault accounting, validation, reporting."""
 
+from .faults import FaultReport, fault_report, overhead_table, round_overhead
 from .latency import (
     BroadcastOutcome,
     ConvergecastOutcome,
@@ -48,4 +49,8 @@ __all__ = [
     "ValidationReport",
     "validate_bitree",
     "validate_connectivity_solution",
+    "FaultReport",
+    "fault_report",
+    "overhead_table",
+    "round_overhead",
 ]

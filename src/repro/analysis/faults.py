@@ -1,0 +1,135 @@
+"""Fault accounting: turn netsim runs into overhead tables.
+
+The message runtime reports what the transport did (drops, delays, crashes)
+and what the protocol paid for it (extra slots, retransmissions, completion
+patches).  This module condenses those raw counters into the two artifacts
+the loss-resilience experiment and the chaos CI job publish: a per-run
+:class:`FaultReport` and cross-run overhead tables keyed by loss rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+from ..netsim import NetInitResult
+from .reporting import format_table
+
+__all__ = ["FaultReport", "fault_report", "overhead_table", "round_overhead"]
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """What one netsim run suffered and what surviving it cost.
+
+    Attributes:
+        n_nodes: nodes the run started with.
+        n_alive: nodes spanned by the final tree.
+        slots: total slots, completion patch included.
+        oracle_slots: the lockstep oracle's slot cost for the same instance
+            (0 when no oracle run is available).
+        round_overhead: ``slots / oracle_slots`` (1.0 = faultless parity).
+        transmissions: transmissions attempted across all nodes.
+        dropped: messages the transport dropped.
+        delayed: messages the transport delayed.
+        crashes: crash transitions observed.
+        completion_slots: slots spent by the tree-completion patch.
+        reattached: orphaned subtree roots the patch re-attached.
+    """
+
+    n_nodes: int
+    n_alive: int
+    slots: int
+    oracle_slots: int
+    round_overhead: float
+    transmissions: int
+    dropped: int
+    delayed: int
+    crashes: int
+    completion_slots: int
+    reattached: int
+
+    def as_row(self) -> dict[str, Any]:
+        """Flat dictionary form for the reporting tables."""
+        return {
+            "n": self.n_nodes,
+            "alive": self.n_alive,
+            "slots": self.slots,
+            "overhead": round(self.round_overhead, 3),
+            "tx": self.transmissions,
+            "dropped": self.dropped,
+            "delayed": self.delayed,
+            "crashes": self.crashes,
+            "patch_slots": self.completion_slots,
+            "reattached": self.reattached,
+        }
+
+
+def round_overhead(slots: int, oracle_slots: int) -> float:
+    """Slot cost relative to the lockstep oracle (1.0 = parity)."""
+    return slots / max(oracle_slots, 1)
+
+
+def fault_report(
+    result: NetInitResult,
+    *,
+    n_nodes: int | None = None,
+    oracle_slots: int = 0,
+) -> FaultReport:
+    """Condense a :class:`~repro.netsim.NetInitResult` into a report.
+
+    Args:
+        result: the netsim ``Init`` outcome.
+        n_nodes: deployment size before crashes (defaults to tree + crashed).
+        oracle_slots: the lockstep oracle's cost, when one was run.
+    """
+    alive = result.tree.size
+    total = n_nodes if n_nodes is not None else alive + len(result.crashed)
+    summary = result.fault_summary
+    return FaultReport(
+        n_nodes=total,
+        n_alive=alive,
+        slots=result.slots_used,
+        oracle_slots=oracle_slots,
+        round_overhead=round_overhead(result.slots_used, oracle_slots),
+        transmissions=sum(result.send_budget.values()),
+        dropped=int(summary.get("dropped", 0)),
+        delayed=int(summary.get("delayed", 0)),
+        crashes=int(summary.get("crashes", 0)),
+        completion_slots=result.completion_slots,
+        reattached=len(result.reattached),
+    )
+
+
+def overhead_table(
+    cells: Mapping[float, Sequence[FaultReport]],
+    *,
+    title: str = "Round overhead by loss rate",
+) -> str:
+    """Aligned table of mean overheads, one row per loss rate.
+
+    Args:
+        cells: loss rate -> reports gathered at that rate.
+        title: table heading.
+    """
+    rows: list[dict[str, Any]] = []
+    for loss in sorted(cells):
+        reports = list(cells[loss])
+        if not reports:
+            continue
+        count = len(reports)
+        rows.append(
+            {
+                "loss": loss,
+                "runs": count,
+                "mean_overhead": round(
+                    sum(r.round_overhead for r in reports) / count, 3
+                ),
+                "mean_tx": round(sum(r.transmissions for r in reports) / count, 1),
+                "mean_dropped": round(sum(r.dropped for r in reports) / count, 1),
+                "mean_patch_slots": round(
+                    sum(r.completion_slots for r in reports) / count, 1
+                ),
+            }
+        )
+    return format_table(rows, title=title)

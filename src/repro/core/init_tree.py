@@ -211,6 +211,18 @@ class InitAgent(NodeAgent):
     def is_done(self) -> bool:
         return not self.active
 
+    def on_crash(self, slot: int) -> None:
+        # Links and parent adoption survive a crash (they are committed
+        # state); only the intra-slot-pair context is volatile.
+        self._pending_broadcast = None
+        self._is_broadcaster = False
+
+    def on_recover(self, slot: int) -> None:
+        # The slot pair the pending broadcast belonged to has passed while
+        # the node was down, so the ack it would trigger must not be sent.
+        self._pending_broadcast = None
+        self._is_broadcaster = False
+
     def stored_degree(self) -> int:
         """Number of distinct peers this node stored links with (Theorem 7's |Lu|)."""
         return len({record.peer_id for record in self.records})

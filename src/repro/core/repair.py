@@ -23,7 +23,7 @@ from scratch.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Protocol, Sequence
 
 import numpy as np
 
@@ -36,7 +36,17 @@ from .bitree import BiTree
 from .init_tree import InitialTreeBuilder
 from .schedule import Schedule
 
-__all__ = ["RepairResult", "TreeRepairer"]
+__all__ = ["InitBuilderLike", "RepairResult", "TreeRepairer"]
+
+
+class InitBuilderLike(Protocol):
+    """Anything that can run an ``Init`` re-run among the patch participants.
+
+    The result only needs the three attributes :meth:`TreeRepairer.integrate`
+    splices from: ``tree``, ``power`` and ``slots_used``.
+    """
+
+    def build(self, nodes: Sequence[Node], rng: np.random.Generator) -> Any: ...
 
 
 @dataclass(frozen=True)
@@ -68,17 +78,28 @@ class TreeRepairer:
     Args:
         params: physical-model parameters.
         constants: protocol constants forwarded to the ``Init`` re-run.
+        patch_builder: the builder running the ``Init`` re-run among the
+            orphans.  Defaults to the lockstep
+            :class:`~repro.core.init_tree.InitialTreeBuilder`; the netsim
+            runtime passes its own fault-aware builder here so repairs
+            triggered by emergent crashes run over the same lossy transport
+            as the protocol that suffered them.  Any object with a
+            ``build(nodes, rng)`` method returning a result with ``tree``,
+            ``power`` and ``slots_used`` works.
     """
 
-    __slots__ = ('constants', 'params')
+    __slots__ = ('constants', 'params', 'patch_builder')
 
     def __init__(
         self,
         params: SINRParameters,
         constants: AlgorithmConstants = DEFAULT_CONSTANTS,
+        *,
+        patch_builder: InitBuilderLike | None = None,
     ):
         self.params = params
         self.constants = constants
+        self.patch_builder = patch_builder
 
     def repair(
         self,
@@ -211,7 +232,11 @@ class TreeRepairer:
         if old_root_alive:
             participants.append(survivors[tree.root_id])
 
-        builder = InitialTreeBuilder(self.params, self.constants)
+        builder = (
+            self.patch_builder
+            if self.patch_builder is not None
+            else InitialTreeBuilder(self.params, self.constants)
+        )
         patch = builder.build(participants, rng)
 
         # Splice the patch: its links re-attach orphan subtree roots (and

@@ -14,6 +14,9 @@ __all__ = [
     "ScheduleError",
     "ProtocolError",
     "ConvergenceError",
+    "TransportError",
+    "DeliveryTimeout",
+    "NodeCrashedError",
 ]
 
 
@@ -43,3 +46,15 @@ class ProtocolError(ReproError):
 
 class ConvergenceError(ReproError):
     """Raised when an iterative algorithm fails to converge within its budget."""
+
+
+class TransportError(ProtocolError):
+    """Raised when the message-passing transport layer fails structurally."""
+
+
+class DeliveryTimeout(TransportError):
+    """Raised when a reliable send exhausts its retry budget without an ack."""
+
+
+class NodeCrashedError(ProtocolError):
+    """Raised when an operation requires a node that has crashed."""

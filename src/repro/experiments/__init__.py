@@ -13,6 +13,7 @@ from . import (
     e10_fading,
     e11_mobility,
     e12_churn,
+    e13_loss,
     f1_comparison,
     f2_delta,
     f3_uniform_lower_bound,
@@ -41,6 +42,7 @@ ALL_EXPERIMENTS = {
     "E10": e10_fading.run,
     "E11": e11_mobility.run,
     "E12": e12_churn.run,
+    "E13": e13_loss.run,
     "F1": f1_comparison.run,
     "F2": f2_delta.run,
     "F3": f3_uniform_lower_bound.run,

@@ -1,0 +1,100 @@
+"""Heartbeat-based failure detection.
+
+Every alive node emits an out-of-band heartbeat each ``interval`` slots
+carrying its protocol status; the detector suspects a node after
+``miss_threshold`` consecutive missed heartbeats and un-suspects it on the
+next one that arrives.  Heartbeats ride the control plane: they share the
+transport's loss and partitions (a partitioned node looks dead, which is the
+point of a failure detector) but consume no data-plane channel slots, so a
+zero-fault run costs exactly the lockstep slot count.
+
+The detector's *view* - who is alive, who is done - is what the round driver
+and the netsim ``Init`` builder act on, replacing the lockstep simulator's
+god's-eye reads of agent state.  Under zero faults the view coincides with
+ground truth at every round boundary; under faults it is exactly as stale or
+wrong as the heartbeats let it be.
+"""
+
+from __future__ import annotations
+
+from ..exceptions import ConfigurationError, NodeCrashedError
+
+__all__ = ["HeartbeatDetector"]
+
+
+class HeartbeatDetector:
+    """Tracks per-node liveness and last-reported protocol status.
+
+    Args:
+        node_ids: the monitored nodes.
+        interval: slots between expected heartbeats.
+        miss_threshold: consecutive misses before a node is suspected.
+    """
+
+    __slots__ = ("_done", "_interval", "_misses", "_suspected", "_threshold", "node_ids")
+
+    def __init__(
+        self,
+        node_ids: list[int],
+        *,
+        interval: int = 1,
+        miss_threshold: int = 3,
+    ) -> None:
+        if interval < 1:
+            raise ConfigurationError(f"interval must be positive, got {interval}")
+        if miss_threshold < 1:
+            raise ConfigurationError(
+                f"miss_threshold must be positive, got {miss_threshold}"
+            )
+        self.node_ids = list(node_ids)
+        self._interval = interval
+        self._threshold = miss_threshold
+        self._misses: dict[int, int] = {node_id: 0 for node_id in self.node_ids}
+        self._suspected: set[int] = set()
+        #: last status each node reported (protocol "done" flag).
+        self._done: dict[int, bool] = {node_id: False for node_id in self.node_ids}
+
+    @property
+    def interval(self) -> int:
+        return self._interval
+
+    def expects_heartbeat(self, slot: int) -> bool:
+        """Whether ``slot`` is a heartbeat slot (all nodes share the phase)."""
+        return slot % self._interval == 0
+
+    def observe_heartbeat(self, node_id: int, slot: int, *, done: bool) -> None:
+        """Record an arrived heartbeat: resets misses, refreshes status."""
+        self._misses[node_id] = 0
+        self._suspected.discard(node_id)
+        self._done[node_id] = done
+
+    def observe_miss(self, node_id: int, slot: int) -> None:
+        """Record a missed heartbeat; may push the node into the suspects."""
+        misses = self._misses[node_id] + 1
+        self._misses[node_id] = misses
+        if misses >= self._threshold:
+            self._suspected.add(node_id)
+
+    def suspected_ids(self) -> frozenset[int]:
+        """Nodes currently suspected crashed."""
+        return frozenset(self._suspected)
+
+    def alive_view(self) -> list[int]:
+        """Nodes currently believed alive, in monitor order."""
+        return [node_id for node_id in self.node_ids if node_id not in self._suspected]
+
+    def active_view(self) -> int:
+        """Number of alive-believed nodes whose last status was not done."""
+        return sum(
+            1
+            for node_id in self.node_ids
+            if node_id not in self._suspected and not self._done[node_id]
+        )
+
+    def require_alive(self, node_id: int) -> None:
+        """Raise :class:`NodeCrashedError` if ``node_id`` is suspected down."""
+        if node_id in self._suspected:
+            raise NodeCrashedError(
+                f"node {node_id} is suspected crashed "
+                f"(missed >= {self._threshold} heartbeats)"
+            )

@@ -1,0 +1,123 @@
+"""Transport layer: who actually receives a decoded message, and when.
+
+The SINR channel decides what a radio *could* decode in a slot; the transport
+decides what the protocol stack above it actually *delivers*.  A
+:class:`PerfectTransport` delivers every decoded message in its send slot -
+composing it with the netsim runtime reproduces the lockstep simulator trace
+bit for bit.  A :class:`FaultyTransport` consults a
+:class:`~repro.netsim.faults.FaultPlan` per message and records what it did
+to a :class:`~repro.netsim.faults.FaultTrace`.
+
+The ``slot_offset`` lets a follow-up run (e.g. the tree-completion patch
+after crashes) continue the same fault streams instead of replaying the
+drops of slot 0: the hash is keyed on ``slot + offset``.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from .._types import BoolArray, IntpArray
+from .faults import FaultPlan, FaultTrace
+
+__all__ = ["FaultyTransport", "PerfectTransport", "Transport"]
+
+
+class Transport(ABC):
+    """Delivery policy for decoded messages plus node liveness."""
+
+    __slots__ = ()
+
+    @abstractmethod
+    def admit(
+        self, slot: int, src_ids: np.ndarray, dst_ids: np.ndarray
+    ) -> tuple[BoolArray, IntpArray]:
+        """Fate of aligned ``src -> dst`` deliveries decoded at ``slot``.
+
+        Returns ``(delivered, delay)``: a boolean mask of messages that
+        survive the transport and their extra delivery delay in slots
+        (0 = the send slot itself).
+        """
+
+    @abstractmethod
+    def is_crashed(self, node_id: int, slot: int) -> bool:
+        """Whether ``node_id`` is down at ``slot``."""
+
+    @abstractmethod
+    def heartbeat_delivered(self, node_id: int, slot: int) -> bool:
+        """Whether ``node_id``'s out-of-band heartbeat at ``slot`` arrives."""
+
+
+class PerfectTransport(Transport):
+    """Everything is delivered immediately; nobody crashes."""
+
+    __slots__ = ()
+
+    def admit(
+        self, slot: int, src_ids: np.ndarray, dst_ids: np.ndarray
+    ) -> tuple[BoolArray, IntpArray]:
+        count = len(np.asarray(dst_ids))
+        return np.ones(count, dtype=bool), np.zeros(count, dtype=np.intp)
+
+    def is_crashed(self, node_id: int, slot: int) -> bool:
+        return False
+
+    def heartbeat_delivered(self, node_id: int, slot: int) -> bool:
+        return True
+
+
+class FaultyTransport(Transport):
+    """Applies a :class:`FaultPlan` to every delivery and liveness query.
+
+    Args:
+        plan: the fault configuration.
+        trace: recorder for injected faults (a fresh one if omitted).
+        slot_offset: added to every slot before hashing, so chained runs
+            (main run, then a completion patch) draw from fresh counters.
+    """
+
+    __slots__ = ("plan", "slot_offset", "trace")
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        trace: FaultTrace | None = None,
+        *,
+        slot_offset: int = 0,
+    ) -> None:
+        self.plan = plan
+        self.trace = trace if trace is not None else FaultTrace()
+        self.slot_offset = slot_offset
+
+    def admit(
+        self, slot: int, src_ids: np.ndarray, dst_ids: np.ndarray
+    ) -> tuple[BoolArray, IntpArray]:
+        src = np.asarray(src_ids, dtype=np.int64)
+        dst = np.asarray(dst_ids, dtype=np.int64)
+        hashed_slot = slot + self.slot_offset
+        delivered = np.ones(len(dst), dtype=bool)
+        delay = np.zeros(len(dst), dtype=np.intp)
+        # Group by sender: the plan's draws are vectorized over receivers of
+        # one sender's message, and the hash keys make the grouping
+        # immaterial to the outcome.
+        for src_id in np.unique(src):
+            mask = src == src_id
+            targets = dst[mask]
+            drops = self.plan.dropped(int(src_id), targets, hashed_slot)
+            delays = self.plan.delays(int(src_id), targets, hashed_slot)
+            delivered[mask] = ~drops
+            delay[mask] = np.where(drops, 0, delays)
+            for dst_id, was_dropped, d in zip(targets, drops, delays):
+                if was_dropped:
+                    self.trace.record_drop(slot, int(src_id), int(dst_id))
+                elif d:
+                    self.trace.record_delay(slot, int(src_id), int(dst_id), int(d))
+        return delivered, delay
+
+    def is_crashed(self, node_id: int, slot: int) -> bool:
+        return self.plan.crashes.is_crashed(node_id, slot + self.slot_offset)
+
+    def heartbeat_delivered(self, node_id: int, slot: int) -> bool:
+        return not self.plan.heartbeat_dropped(node_id, slot + self.slot_offset)

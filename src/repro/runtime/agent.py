@@ -83,6 +83,24 @@ class NodeAgent(ABC):
         """Whether the agent has finished its protocol (used for early exit)."""
         return False
 
+    def on_crash(self, slot: int) -> None:
+        """Notify the agent that its node crashed at ``slot``.
+
+        Called by fault-injecting runtimes (``repro.netsim``) when the fault
+        plan takes the node down.  While crashed the agent is neither polled
+        nor delivered to.  The default keeps all state (crash-recover
+        semantics); subclasses may drop volatile in-flight state here.
+        """
+
+    def on_recover(self, slot: int) -> None:
+        """Notify the agent that its node came back up at ``slot``.
+
+        The agent resumes being polled from this slot on.  Protocol agents
+        whose per-slot state is only meaningful within a slot pair (e.g. a
+        pending broadcast awaiting its ack phase) should discard it here -
+        the context it referred to has passed while the node was down.
+        """
+
     def summary(self) -> dict[str, Any]:
         """Small diagnostic dictionary (protocol-specific)."""
         return {"node_id": self.node_id, "done": self.is_done()}

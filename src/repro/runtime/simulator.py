@@ -170,13 +170,15 @@ class Simulator:
         return self._step_batch(label)
 
     # -- batch engine --------------------------------------------------------
+    #
+    # The batch step is split into three seams - poll, decode, deliver - so
+    # that alternative engines (the fault-injected message-passing runtime in
+    # ``repro.netsim``) can reuse the exact decode arithmetic while changing
+    # who gets polled and which decoded messages actually arrive.  Composed
+    # unchanged, the seams are bit-identical to the original monolithic step.
 
-    def _step_batch(self, label: str) -> SlotRecord | None:
-        slot = self._slot
-        node_ids = self._node_ids
-        nodes = self._nodes
-        n = len(nodes)
-
+    def _poll_batch(self, slot: int) -> tuple[list[int], list[float], list[Any]]:
+        """Poll every agent for the slot; fills ``self._listening`` in place."""
         tx_pos: list[int] = []
         powers: list[float] = []
         messages: list[Any] = []
@@ -189,6 +191,24 @@ class Simulator:
                 powers.append(action[0])
                 messages.append(action[1])
                 listening[i] = False
+        return tx_pos, powers, messages
+
+    def _decode_batch(
+        self,
+        slot: int,
+        tx_pos: list[int],
+        powers: list[float],
+        messages: list[Any],
+    ) -> tuple[list[Reception | None], list[tuple[int, int]]]:
+        """Resolve the slot's transmissions through the SINR channel.
+
+        Returns per-agent-position receptions plus the (listener id, sender
+        id) pairs in trace order.
+        """
+        node_ids = self._node_ids
+        nodes = self._nodes
+        n = len(nodes)
+        listening = self._listening
 
         receptions: list[Reception | None] = [None] * n
         pairs: list[tuple[int, int]] = []
@@ -243,12 +263,20 @@ class Simulator:
                     pos = self._pos_by_id[node_id]
                     receptions[pos] = reception
                     pairs.append((node_id, reception.sender.id))
+        return receptions, pairs
 
+    def _deliver_batch(self, slot: int, receptions: list[Reception | None]) -> None:
+        """Deliver the slot outcome to every agent, in agent order."""
         for observe, reception in zip(self._observe, receptions):
             observe(slot, reception)
 
+    def _step_batch(self, label: str) -> SlotRecord | None:
+        slot = self._slot
+        tx_pos, powers, messages = self._poll_batch(slot)
+        receptions, pairs = self._decode_batch(slot, tx_pos, powers, messages)
+        self._deliver_batch(slot, receptions)
         record = self.trace.append_slot(
-            slot, [node_ids[i] for i in tx_pos], pairs, label
+            slot, [self._node_ids[i] for i in tx_pos], pairs, label
         )
         self._slot += 1
         return record

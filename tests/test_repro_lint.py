@@ -26,6 +26,7 @@ from tools.repro_lint.rules.hygiene import (
 from tools.repro_lint.rules.parity import ParityOracleCoverage
 from tools.repro_lint.rules.rng import RngDiscipline
 from tools.repro_lint.rules.shared_state import SharedStateMutation
+from tools.repro_lint.rules.waits import UnboundedWait
 from tools.repro_lint.reporters import render_json, render_text
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -535,3 +536,94 @@ class TestAcceptanceCriteria:
         decode = KERNEL_REGISTRY["repro.sinr.channel:decode_arrays"]
         assert decode.oracle == "decode_reference"
         assert decode.allocates is False
+
+
+# ---------------------------------------------------------------------------
+# RL010 — unbounded waits in netsim modules
+# ---------------------------------------------------------------------------
+
+
+class TestUnboundedWait:
+    def test_trigger_receive_loop_without_bound(self):
+        findings = lint_source(
+            "def pump(sim):\n"
+            "    while sim.has_pending():\n"
+            "        sim.step('wait')\n",
+            filename="src/repro/netsim/pump.py",
+            rules=[UnboundedWait()],
+        )
+        assert codes(findings) == ["RL010"]
+        assert "unbounded wait" in findings[0].message
+
+    def test_trigger_while_true_spin(self):
+        findings = lint_source(
+            "def wait_for_ack(outbox, sim):\n"
+            "    while True:\n"
+            "        sim.step('ack-wait')\n"
+            "        if outbox.empty():\n"
+            "            break\n",
+            filename="src/repro/netsim/spin.py",
+            rules=[UnboundedWait()],
+        )
+        assert codes(findings) == ["RL010"]
+
+    def test_near_miss_timeout_bound_is_clean(self):
+        findings = lint_source(
+            "def pump(sim, max_slots):\n"
+            "    executed = 0\n"
+            "    while executed < max_slots:\n"
+            "        sim.step('wait')\n"
+            "        executed += 1\n",
+            filename="src/repro/netsim/pump.py",
+            rules=[UnboundedWait()],
+        )
+        assert findings == []
+
+    def test_near_miss_deadline_and_retry_budget_are_clean(self):
+        findings = lint_source(
+            "def drain(outbox, sim, deadline):\n"
+            "    while sim.slot < deadline:\n"
+            "        sim.step('drain')\n"
+            "def resend(outbox, slot):\n"
+            "    while outbox.attempts_left():\n"
+            "        outbox.retry(slot)\n",
+            filename="src/repro/netsim/drain.py",
+            rules=[UnboundedWait()],
+        )
+        assert findings == []
+
+    def test_near_miss_for_loop_is_inherently_bounded(self):
+        findings = lint_source(
+            "def run_phase(sim, slots):\n"
+            "    for _ in range(slots):\n"
+            "        sim.step('phase')\n",
+            filename="src/repro/netsim/phase.py",
+            rules=[UnboundedWait()],
+        )
+        assert findings == []
+
+    def test_rule_is_scoped_to_netsim_modules(self):
+        findings = lint_source(
+            "def spin(sim):\n"
+            "    while sim.busy():\n"
+            "        sim.step('spin')\n",
+            filename="src/repro/runtime/other.py",
+            rules=[UnboundedWait()],
+        )
+        assert findings == []
+
+    def test_inline_suppression_works(self):
+        findings = lint_source(
+            "def spin(sim):\n"
+            "    while sim.busy():  # repro-lint: disable=RL010\n"
+            "        sim.step('spin')\n",
+            filename="src/repro/netsim/spin.py",
+            rules=[UnboundedWait()],
+        )
+        assert findings == []
+
+    def test_netsim_package_is_rl010_clean(self):
+        result = lint_paths(
+            [str(REPO_ROOT / "src" / "repro" / "netsim")], rules=[UnboundedWait()]
+        )
+        assert [f for f in result.findings if f.code == "RL010"] == []

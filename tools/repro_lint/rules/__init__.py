@@ -38,6 +38,7 @@ def all_rules() -> list[Rule]:
     from .rng import RngDiscipline
     from .shared_state import SharedStateMutation
     from .parity import ParityOracleCoverage
+    from .waits import UnboundedWait
     from .hygiene import (
         BareExcept,
         MissingDunderAll,
@@ -55,4 +56,5 @@ def all_rules() -> list[Rule]:
         MissingDunderAll(),
         MutableDefaultArg(),
         BareExcept(),
+        UnboundedWait(),
     ]

@@ -1,0 +1,100 @@
+"""RL010 — every wait in the message runtime must be bounded.
+
+The netsim package runs protocols over a transport that may drop, delay or
+crash anything; a receive/await loop with no timeout or retry budget can
+therefore spin forever on a message that will never arrive.  The round
+driver's quorum-*or-timeout* contract (and the reliable outbox's retry
+budget) exist precisely so that every wait terminates by construction - this
+rule keeps that invariant syntactic.
+
+The check: inside ``netsim`` modules, every ``while`` loop must carry *bound
+evidence* - its condition or body must reference a timeout/budget-style name
+(``timeout``, ``deadline``, ``max_*``, ``budget``, ``attempts``, ``retries``,
+``horizon``, ``remaining``, ``limit``) or count against an explicit
+``range(...)``.  ``for`` loops are inherently bounded by their iterable and
+pass.  A deliberate unbounded loop (there should be none) would need an
+inline ``# repro-lint: disable=RL010``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable
+
+from ..astutil import dotted_parts
+from ..engine import Finding, Module
+from . import Rule
+
+__all__ = ["UnboundedWait"]
+
+#: Substrings that mark an identifier as expressing a timeout/retry bound.
+_BOUND_TOKENS = (
+    "timeout",
+    "deadline",
+    "max_",
+    "budget",
+    "attempt",
+    "retries",
+    "retry",
+    "horizon",
+    "remaining",
+    "limit",
+)
+
+
+def _is_bound_name(name: str) -> bool:
+    lowered = name.lower()
+    return any(token in lowered for token in _BOUND_TOKENS)
+
+
+def _bound_evidence(loop: ast.While) -> bool:
+    """Whether the loop's condition or body references a bound-style name."""
+    for node in ast.walk(loop):
+        if isinstance(node, ast.Name) and _is_bound_name(node.id):
+            return True
+        if isinstance(node, ast.Attribute) and _is_bound_name(node.attr):
+            return True
+        if isinstance(node, ast.Call):
+            parts = dotted_parts(node.func)
+            if parts and parts[-1] == "range":
+                return True
+    return False
+
+
+class UnboundedWait(Rule):
+    code = "RL010"
+    name = "unbounded-wait"
+    severity = "error"
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        if "netsim" not in Path(module.path).parts:
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.While):
+                continue
+            if _bound_evidence(node):
+                continue
+            yield Finding(
+                code=self.code,
+                message=(
+                    "unbounded wait: while-loop in a netsim module has no "
+                    "timeout/retry-budget bound; over a lossy transport it can "
+                    "spin forever - bound it (max_slots/deadline/attempts) or "
+                    "rewrite it as a for-loop over an explicit budget"
+                ),
+                path=module.path,
+                line=node.lineno,
+                end_line=node.end_lineno or node.lineno,
+                severity=self.severity,
+                symbol=_enclosing(module.tree, node),
+            )
+
+
+def _enclosing(tree: ast.Module, target: ast.While) -> str:
+    """Name of the function/method lexically containing ``target``."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if any(sub is target for sub in ast.walk(node)):
+                return node.name
+    return "<module>"
