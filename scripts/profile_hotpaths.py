@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Profile one experiment's hot paths: cProfile + top allocation sites.
 
-Runs a single E/F experiment (default: E1 at the quick config, sequential)
+Runs any registered experiment (default: E1 at the quick config, sequential)
 under ``cProfile`` and, in a second pass, under ``tracemalloc``, then prints
 
 * the top functions by cumulative and by internal time, and
@@ -10,89 +10,74 @@ under ``cProfile`` and, in a second pass, under ``tracemalloc``, then prints
 so the next performance PR can see at a glance where the slots - and the
 allocator - are actually spent.  Allocation hot spots are the scratch-arena
 layer's prey: a line that shows up here with per-slot granularity is a
-candidate for a ``DecodeWorkspace`` buffer.
+candidate for a ``DecodeWorkspace`` buffer.  The tracemalloc view is shared
+with ``python -m repro.obs report --allocs`` via
+:func:`repro.obs.profiling.top_allocations`.
 
 Usage:
     python scripts/profile_hotpaths.py                  # E1, quick config
-    python scripts/profile_hotpaths.py --experiment e9
-    python scripts/profile_hotpaths.py --experiment e10 --top 25
+    python scripts/profile_hotpaths.py --experiment e13
+    python scripts/profile_hotpaths.py --experiment E10 --top 25
     python scripts/profile_hotpaths.py --full           # full-size sweep
+    python scripts/profile_hotpaths.py --json           # machine-readable
 """
 
 from __future__ import annotations
 
 import argparse
 import cProfile
-import importlib
 import io
+import json
 import pstats
 import sys
-import tracemalloc
 from pathlib import Path
+from typing import Any
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-EXPERIMENTS = (
-    "e1_init",
-    "e2_degree",
-    "e3_sparsity",
-    "e4_reschedule",
-    "e5_tvc_arbitrary",
-    "e6_tvc_mean",
-    "e7_tm_subset",
-    "e8_latency",
-    "e9_capacity",
-    "e10_fading",
-    "e11_mobility",
-    "e12_churn",
-    "f1_comparison",
-    "f2_delta",
-    "f3_uniform_lower_bound",
-)
-
 
 def resolve_runner(name: str):
-    """The experiment module's ``run`` callable, by short or full name."""
-    matches = [exp for exp in EXPERIMENTS if exp == name or exp.split("_")[0] == name]
-    if len(matches) != 1:
+    """The experiment's ``run`` callable, by registry id (case-insensitive)."""
+    from repro.experiments import ALL_EXPERIMENTS
+
+    runner = ALL_EXPERIMENTS.get(name.upper())
+    if runner is None:
         raise SystemExit(
-            f"unknown experiment {name!r}; pick one of "
-            + ", ".join(exp.split("_")[0] for exp in EXPERIMENTS)
+            f"unknown experiment {name!r}; pick one of " + ", ".join(ALL_EXPERIMENTS)
         )
-    module = importlib.import_module(f"repro.experiments.{matches[0]}")
-    return module.run
+    return runner
 
 
-def profile_time(run, config, top: int) -> None:
+def profile_time(run, config, top: int) -> dict[str, Any]:
     """cProfile pass: cumulative and internal-time leaders."""
     profiler = cProfile.Profile()
     profiler.enable()
     result = run(config)
     profiler.disable()
-    print(f"== {result.experiment_id}: {result.title}")
-    print(f"   rows: {len(result.rows)}, summary: {result.summary}")
-    for sort_key, title in (("cumulative", "cumulative time"), ("tottime", "internal time")):
+    report: dict[str, Any] = {
+        "experiment_id": result.experiment_id,
+        "title": result.title,
+        "rows": len(result.rows),
+        "summary": {key: str(value) for key, value in result.summary.items()},
+        "profiles": {},
+    }
+    for sort_key in ("cumulative", "tottime"):
         stream = io.StringIO()
         stats = pstats.Stats(profiler, stream=stream)
         stats.strip_dirs().sort_stats(sort_key).print_stats(top)
-        print(f"\n-- top {top} by {title} " + "-" * 40)
-        print(stream.getvalue())
+        report["profiles"][sort_key] = stream.getvalue()
+    return report
 
 
-def profile_allocations(run, config, top: int) -> None:
-    """tracemalloc pass: source lines by bytes allocated."""
-    tracemalloc.start(25)
-    run(config)
-    snapshot = tracemalloc.take_snapshot()
-    tracemalloc.stop()
-    print(f"\n-- top {top} allocation sites (bytes allocated over the run) " + "-" * 12)
-    for stat in snapshot.statistics("lineno")[:top]:
-        frame = stat.traceback[0]
-        location = f"{frame.filename}:{frame.lineno}"
-        # Keep repo paths readable; stdlib/numpy frames stay absolute.
-        location = location.replace(str(REPO_ROOT) + "/", "")
-        print(f"{stat.size / 1024:10.1f} KiB  {stat.count:8d} blocks  {location}")
+def profile_allocations(run, config, top: int) -> list[dict[str, Any]]:
+    """tracemalloc pass: source lines by bytes allocated (shared helper)."""
+    from repro.obs.profiling import top_allocations
+
+    _, rows = top_allocations(
+        lambda: run(config), top=top, strip_prefix=str(REPO_ROOT)
+    )
+    return rows
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -100,7 +85,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--experiment",
         default="e1",
-        help="experiment to profile, by short name (e1..e12, f1..f3); default e1",
+        help="registered experiment id (E1..E13, F1..F3, case-insensitive); default e1",
     )
     parser.add_argument(
         "--top", type=int, default=15, help="rows per report section (default 15)"
@@ -110,14 +95,32 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="profile the full-size sweep instead of the quick config",
     )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object (profiles + allocation rows) instead of text",
+    )
     args = parser.parse_args(argv)
 
     from repro.experiments import ExperimentConfig
 
     run = resolve_runner(args.experiment)
     config = ExperimentConfig.full() if args.full else ExperimentConfig.quick()
-    profile_time(run, config, args.top)
-    profile_allocations(run, config, args.top)
+    report = profile_time(run, config, args.top)
+    report["allocations"] = profile_allocations(run, config, args.top)
+
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+
+    print(f"== {report['experiment_id']}: {report['title']}")
+    print(f"   rows: {report['rows']}, summary: {report['summary']}")
+    for sort_key, title in (("cumulative", "cumulative time"), ("tottime", "internal time")):
+        print(f"\n-- top {args.top} by {title} " + "-" * 40)
+        print(report["profiles"][sort_key])
+    print(f"\n-- top {args.top} allocation sites (bytes allocated over the run) " + "-" * 12)
+    for row in report["allocations"]:
+        print(f"{row['kib']:10.1f} KiB  {row['blocks']:8d} blocks  {row['location']}")
     return 0
 
 

@@ -49,7 +49,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.experiments.parallel import usable_cpu_count  # noqa: E402
 
 # Tag of the baseline currently being grown; bump per perf-relevant PR.
-DEFAULT_TAG = "PR7"
+DEFAULT_TAG = "PR8"
 
 
 def machine_info() -> dict:

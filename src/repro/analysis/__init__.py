@@ -20,10 +20,12 @@ from .metrics import (
     tree_sparsity,
 )
 from .reporting import (
+    counters_table,
     dynamics_health_table,
     format_markdown_table,
     format_table,
     format_value,
+    kernel_time_table,
 )
 from .validation import ValidationReport, validate_bitree, validate_connectivity_solution
 
@@ -46,6 +48,8 @@ __all__ = [
     "format_markdown_table",
     "format_value",
     "dynamics_health_table",
+    "kernel_time_table",
+    "counters_table",
     "ValidationReport",
     "validate_bitree",
     "validate_connectivity_solution",

@@ -35,6 +35,8 @@ class FaultReport:
         crashes: crash transitions observed.
         completion_slots: slots spent by the tree-completion patch.
         reattached: orphaned subtree roots the patch re-attached.
+        retries: reliable-outbox retransmissions across all nodes.
+        timeouts: reliable-outbox deliveries that exhausted their budget.
     """
 
     n_nodes: int
@@ -48,6 +50,8 @@ class FaultReport:
     crashes: int
     completion_slots: int
     reattached: int
+    retries: int = 0
+    timeouts: int = 0
 
     def as_row(self) -> dict[str, Any]:
         """Flat dictionary form for the reporting tables."""
@@ -62,6 +66,8 @@ class FaultReport:
             "crashes": self.crashes,
             "patch_slots": self.completion_slots,
             "reattached": self.reattached,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
         }
 
 
@@ -98,6 +104,8 @@ def fault_report(
         crashes=int(summary.get("crashes", 0)),
         completion_slots=result.completion_slots,
         reattached=len(result.reattached),
+        retries=int(summary.get("retries", 0)),
+        timeouts=int(summary.get("timeouts", 0)),
     )
 
 
@@ -127,6 +135,9 @@ def overhead_table(
                 ),
                 "mean_tx": round(sum(r.transmissions for r in reports) / count, 1),
                 "mean_dropped": round(sum(r.dropped for r in reports) / count, 1),
+                "mean_delayed": round(sum(r.delayed for r in reports) / count, 1),
+                "mean_retries": round(sum(r.retries for r in reports) / count, 1),
+                "mean_timeouts": round(sum(r.timeouts for r in reports) / count, 1),
                 "mean_patch_slots": round(
                     sum(r.completion_slots for r in reports) / count, 1
                 ),

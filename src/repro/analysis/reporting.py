@@ -14,6 +14,8 @@ __all__ = [
     "format_markdown_table",
     "format_value",
     "dynamics_health_table",
+    "kernel_time_table",
+    "counters_table",
 ]
 
 
@@ -89,6 +91,64 @@ def dynamics_health_table(records: Iterable[Any], title: str | None = None) -> s
             "connected": record.strongly_connected,
         }
         for record in records
+    ]
+    return format_table(rows, title=title)
+
+
+def kernel_time_table(registry: Any, title: str | None = None) -> str:
+    """Per-kernel wall-time table from an obs metrics registry.
+
+    Takes anything with the ``counters()`` iterator of
+    :class:`repro.obs.MetricsRegistry` (duck-typed, so the analysis layer
+    stays import-independent of the telemetry subsystem) and joins the
+    ``kernel.calls`` / ``kernel.time_ns`` counter families into one table,
+    sorted by total time.  Timings are inclusive: a kernel that calls
+    another kernel contributes to both rows.
+    """
+    calls: dict[str, float] = {}
+    times: dict[str, float] = {}
+    for name, labels, value in registry.counters():
+        kernel = labels.get("kernel")
+        if kernel is None:
+            continue
+        if name == "kernel.calls":
+            calls[kernel] = value
+        elif name == "kernel.time_ns":
+            times[kernel] = value
+    rows = []
+    for kernel in sorted(set(calls) | set(times), key=lambda k: -times.get(k, 0.0)):
+        total_ns = times.get(kernel, 0.0)
+        n_calls = calls.get(kernel, 0.0)
+        rows.append(
+            {
+                "kernel": kernel,
+                "calls": int(n_calls),
+                "total_ms": total_ns / 1e6,
+                "per_call_us": (total_ns / n_calls / 1e3) if n_calls else 0.0,
+            }
+        )
+    return format_table(rows, title=title)
+
+
+def counters_table(
+    registry: Any,
+    title: str | None = None,
+    exclude_prefixes: Sequence[str] = ("kernel.",),
+) -> str:
+    """Aligned table of every counter in an obs metrics registry.
+
+    Kernel-timer counters are excluded by default because
+    :func:`kernel_time_table` renders them joined; pass
+    ``exclude_prefixes=()`` to include everything.
+    """
+    rows = [
+        {
+            "counter": name,
+            "labels": ", ".join(f"{key}={value}" for key, value in labels.items()) or "-",
+            "value": int(value) if float(value).is_integer() else value,
+        }
+        for name, labels, value in registry.counters()
+        if not name.startswith(tuple(exclude_prefixes))
     ]
     return format_table(rows, title=title)
 

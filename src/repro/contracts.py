@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
-__all__ = ["KernelContract", "KERNEL_REGISTRY", "hot_kernel"]
+__all__ = ["KernelContract", "KERNEL_REGISTRY", "hot_kernel", "kernel_function"]
 
 _F = TypeVar("_F", bound=Callable)
 
@@ -52,6 +52,16 @@ class KernelContract:
 
 #: qualified name (``module:qualname``) -> contract, populated at import time.
 KERNEL_REGISTRY: dict[str, KernelContract] = {}
+
+#: qualified name -> the raw registered function object.  Consumed by
+#: ``repro.obs.kernels.instrument_kernels`` to build timing wrappers without
+#: re-resolving qualnames; not public API beyond :func:`kernel_function`.
+_KERNEL_FUNCS: dict[str, Callable] = {}
+
+
+def kernel_function(key: str) -> Callable:
+    """The raw function registered under ``key`` (``module:qualname``)."""
+    return _KERNEL_FUNCS[key]
 
 
 def hot_kernel(*, oracle: str | None = None, allocates: bool = False) -> Callable[[_F], _F]:
@@ -74,7 +84,9 @@ def hot_kernel(*, oracle: str | None = None, allocates: bool = False) -> Callabl
             oracle=oracle,
             allocates=allocates,
         )
-        KERNEL_REGISTRY[f"{contract.module}:{contract.qualname}"] = contract
+        key = f"{contract.module}:{contract.qualname}"
+        KERNEL_REGISTRY[key] = contract
+        _KERNEL_FUNCS[key] = target
         return func
 
     return register

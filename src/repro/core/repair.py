@@ -30,6 +30,8 @@ import numpy as np
 from ..constants import DEFAULT_CONSTANTS, AlgorithmConstants
 from ..exceptions import ProtocolError
 from ..geometry import Node
+from ..obs.runtime import OBS
+from ..obs.spans import span
 from ..sinr import ExplicitPower, SINRParameters
 from ..state import NetworkState
 from .bitree import BiTree
@@ -237,7 +239,20 @@ class TreeRepairer:
             if self.patch_builder is not None
             else InitialTreeBuilder(self.params, self.constants)
         )
-        patch = builder.build(participants, rng)
+        with span(
+            "repair.patch",
+            participants=len(participants),
+            failed=len(failed),
+            arrivals=len(arriving),
+        ):
+            patch = builder.build(participants, rng)
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.inc("repair.patches")
+            if orphans:
+                registry.inc("repair.reattached", len(orphans))
+            if arriving:
+                registry.inc("repair.arrivals", len(arriving))
 
         # Splice the patch: its links re-attach orphan subtree roots (and
         # hook up arrivals); stamps are shifted past the existing schedule so

@@ -34,6 +34,8 @@ from ..constants import DEFAULT_CONSTANTS, AlgorithmConstants
 from ..core import BiTree, InitialTreeBuilder, Schedule, TreeRepairer
 from ..exceptions import ConfigurationError
 from ..geometry import Node
+from ..obs.runtime import OBS
+from ..obs.spans import begin_span, end_span, span
 from ..sinr import CachedChannel, ExplicitPower, LinkArrayCache, SINRParameters, is_feasible
 from ..sinr.power import PowerAssignment
 from ..state import DecodeWorkspace, NetworkState
@@ -247,7 +249,8 @@ class DynamicSimulator:
         """Simulate the scenario and return per-epoch records."""
         rng = np.random.default_rng([_DYNAMICS_STREAM, self.seed])
         builder = InitialTreeBuilder(self.params, self.constants)
-        outcome = builder.build(self.nodes, rng)
+        with span("dynamics.build", n=len(self.nodes)):
+            outcome = builder.build(self.nodes, rng)
         tree, power = outcome.tree, outcome.power
         repairer = TreeRepairer(self.params, self.constants)
         # One geometry store for the whole run: mobility patches rows, churn
@@ -265,6 +268,7 @@ class DynamicSimulator:
         cells_before = state.cells_patched
 
         for epoch in range(self.scenario.epochs):
+            epoch_span = begin_span("dynamics.epoch", epoch=epoch)
             moved = 0
             if mobility is not None:
                 indices, new_xy = mobility.move(channel.cache.xy, rng)
@@ -352,6 +356,18 @@ class DynamicSimulator:
                 )
             )
             cells_before = state.cells_patched
+            if OBS.enabled:
+                registry = OBS.registry
+                registry.inc("dynamics.epochs")
+                if moved:
+                    registry.inc("dynamics.moved", moved)
+                if failed:
+                    registry.inc("dynamics.failed", len(failed))
+                if arrived:
+                    registry.inc("dynamics.arrived", len(arrived))
+                if repair_slots:
+                    registry.inc("dynamics.repair_slots", repair_slots)
+            end_span(epoch_span)
 
         result.tree = tree
         result.power = power

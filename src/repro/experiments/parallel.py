@@ -46,6 +46,9 @@ from concurrent.futures.process import BrokenProcessPool
 from multiprocessing import shared_memory
 from typing import Any, Callable, Iterable, Sequence, TypeVar
 
+from ..obs.kernels import instrument_kernels, kernel_timers_active, uninstrument_kernels
+from ..obs.runtime import OBS, telemetry
+from ..obs.spans import begin_span, end_span, span
 from ..state import NetworkState, SharedStateSpec, attach_state, export_state
 from ..state.shared import StateExport
 
@@ -139,9 +142,16 @@ def _evict_stale(live_names: set[str]) -> None:
         del _ATTACHED[name]
 
 
-def _run_chunk(task: tuple) -> list:
-    """Worker entry point: resolve the sweep payloads, run one trial chunk."""
-    trial_fn, shared_spec, state_spec, chunk = task
+def _run_chunk(task: tuple) -> tuple[list, dict | None]:
+    """Worker entry point: resolve the sweep payloads, run one trial chunk.
+
+    Returns ``(results, obs_payload)``.  When the parent had telemetry on,
+    the chunk runs against a fresh worker-local registry and the payload
+    carries everything it accumulated; the parent merges payloads in chunk
+    (= sweep) order, so counters are exact and deterministic at any worker
+    count.  ``obs_payload`` is ``None`` when telemetry was off.
+    """
+    trial_fn, shared_spec, state_spec, chunk, obs_spec = task
     live: set[str] = set()
     payload = None
     if shared_spec is not None:
@@ -154,9 +164,27 @@ def _run_chunk(task: tuple) -> list:
         _CURRENT_STATE = _attach_shared_state(state_spec)
         live.add(state_spec.xy.name)
     _evict_stale(live)
-    if shared_spec is None:
-        return [trial_fn(args) for args in chunk]
-    return [trial_fn((payload, *args)) for args in chunk]
+    if obs_spec is None:
+        if shared_spec is None:
+            return [trial_fn(args) for args in chunk], None
+        return [trial_fn((payload, *args)) for args in chunk], None
+    kernel_timers, chunk_start = obs_spec
+    # Mirror the parent's timer state: worker processes are reused across
+    # sweeps, so an untimed sweep must also undo wrappers a previous timed
+    # sweep installed - otherwise workers would record kernel counters the
+    # sequential path doesn't, breaking worker-count parity.
+    if kernel_timers:
+        instrument_kernels()
+    else:
+        uninstrument_kernels()
+    results: list = []
+    with telemetry() as registry:
+        for offset, args in enumerate(chunk):
+            with span("trial", index=chunk_start + offset):
+                results.append(
+                    trial_fn(args if shared_spec is None else (payload, *args))
+                )
+    return results, registry.to_payload()
 
 
 # --------------------------------------------------------------------------
@@ -237,10 +265,25 @@ class TrialFabric:
             if chunksize is None:
                 chunksize = max(1, math.ceil(len(items) / (2 * self.workers)))
             chunks = [items[i : i + chunksize] for i in range(0, len(items), chunksize)]
-            tasks = [(trial_fn, shared_spec, state_spec, chunk) for chunk in chunks]
+            # With telemetry on, each task carries (kernel-timer flag, global
+            # index of its first trial) so workers label spans with sweep
+            # positions and accumulate into fresh local registries.
+            obs_on = OBS.enabled
+            timers = kernel_timers_active()
+            tasks = [
+                (
+                    trial_fn,
+                    shared_spec,
+                    state_spec,
+                    chunk,
+                    (timers, start * chunksize) if obs_on else None,
+                )
+                for start, chunk in enumerate(chunks)
+            ]
             pool = self._ensure_pool()
             try:
-                nested = list(pool.map(_run_chunk, tasks))
+                with span("fabric.map", trials=len(items), workers=self.workers):
+                    nested = list(pool.map(_run_chunk, tasks))
             except BrokenProcessPool:
                 # A dead worker poisons the executor permanently; drop it so
                 # the next sweep starts a fresh pool.
@@ -256,7 +299,14 @@ class TrialFabric:
                         handle.unlink()
                     except FileNotFoundError:  # pragma: no cover
                         pass
-        return [result for chunk_results in nested for result in chunk_results]
+        results: list[_R] = []
+        for chunk_results, obs_payload in nested:
+            # Chunk order is sweep order, which makes gauge last-writer-wins
+            # (and therefore the whole merge) worker-count invariant.
+            results.extend(chunk_results)
+            if obs_payload is not None:
+                OBS.registry.merge_payload(obs_payload)
+        return results
 
     def shutdown(self) -> None:
         """Terminate the worker pool (the fabric can be used again after)."""
@@ -322,9 +372,16 @@ def _map_sequential(
         was_readonly = state._readonly  # noqa: SLF001 - sweep-scoped freeze
         state._readonly = True  # repro-lint: disable=RL004 - the freeze itself
     try:
-        if shared is None:
-            return [trial_fn(args) for args in items]
-        return [trial_fn((shared, *args)) for args in items]
+        results: list[_R] = []
+        for index, args in enumerate(items):
+            handle = begin_span("trial", index=index)
+            try:
+                results.append(
+                    trial_fn(args) if shared is None else trial_fn((shared, *args))
+                )
+            finally:
+                end_span(handle)
+        return results
     finally:
         _CURRENT_STATE = previous
         if state is not None:

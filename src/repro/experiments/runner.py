@@ -9,6 +9,7 @@ import numpy as np
 
 from ..geometry import Node, deployment_by_name
 from ..analysis import format_markdown_table, format_table
+from ..obs.spans import span
 from .config import ExperimentConfig
 from .parallel import map_trials
 
@@ -62,12 +63,19 @@ def run_sweep(trial_fn: Callable[[tuple], Any], config: ExperimentConfig) -> lis
     seed)`` tuple it always has - results come back in sweep order,
     bit-identical at any worker count.
     """
-    return map_trials(
-        trial_fn,
-        [(n, seed) for n, seed in config.trials()],
+    trials = [(n, seed) for n, seed in config.trials()]
+    with span(
+        "experiment.sweep",
+        trial_fn=getattr(trial_fn, "__name__", str(trial_fn)),
+        trials=len(trials),
         workers=config.workers,
-        shared=config,
-    )
+    ):
+        return map_trials(
+            trial_fn,
+            trials,
+            workers=config.workers,
+            shared=config,
+        )
 
 
 def average_rows(

@@ -25,6 +25,7 @@ import numpy as np
 
 from ..exceptions import ConfigurationError, DeliveryTimeout
 from ..geometry import Node
+from ..obs.runtime import OBS
 from ..runtime import AckMessage, DataMessage, NodeAgent
 from ..sinr import Reception, Transmission
 
@@ -123,6 +124,8 @@ class ReliableOutbox:
             attempts=1,
             deadline=self.policy.deadline_after(slot, 0),
         )
+        if OBS.enabled:
+            OBS.registry.inc("netsim.reliable_posts")
         return payload
 
     def ack(self, key: int) -> bool:
@@ -142,6 +145,8 @@ class ReliableOutbox:
         for send in expired:
             if send.attempts >= self.policy.max_attempts:
                 del self._outstanding[send.key]
+                if OBS.enabled:
+                    OBS.registry.inc("netsim.timeouts")
                 if strict:
                     raise DeliveryTimeout(
                         f"message {send.key} to node {send.dst_id} unacked after "
@@ -152,6 +157,8 @@ class ReliableOutbox:
             send.attempts += 1
             send.deadline = self.policy.deadline_after(slot, send.attempts - 1)
             self.retries += 1
+            if OBS.enabled:
+                OBS.registry.inc("netsim.retries")
             ready.append(send)
         return ready
 

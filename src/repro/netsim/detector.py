@@ -18,6 +18,7 @@ wrong as the heartbeats let it be.
 from __future__ import annotations
 
 from ..exceptions import ConfigurationError, NodeCrashedError
+from ..obs.runtime import OBS
 
 __all__ = ["HeartbeatDetector"]
 
@@ -67,12 +68,18 @@ class HeartbeatDetector:
         self._misses[node_id] = 0
         self._suspected.discard(node_id)
         self._done[node_id] = done
+        if OBS.enabled:
+            OBS.registry.inc("netsim.heartbeats")
 
     def observe_miss(self, node_id: int, slot: int) -> None:
         """Record a missed heartbeat; may push the node into the suspects."""
         misses = self._misses[node_id] + 1
         self._misses[node_id] = misses
+        if OBS.enabled:
+            OBS.registry.inc("netsim.heartbeat_misses")
         if misses >= self._threshold:
+            if OBS.enabled and node_id not in self._suspected:
+                OBS.registry.inc("netsim.suspicions")
             self._suspected.add(node_id)
 
     def suspected_ids(self) -> frozenset[int]:

@@ -16,6 +16,7 @@ import math
 from typing import Callable
 
 from ..exceptions import ConfigurationError
+from ..obs.spans import span
 from .runtime import NetSimulator
 
 __all__ = ["RoundDriver"]
@@ -62,8 +63,9 @@ class RoundDriver:
         """Run a fixed slot budget (the lockstep-compatible phase form)."""
         if slots < 0:
             raise ConfigurationError(f"slots must be non-negative, got {slots}")
-        for _ in range(slots):
-            self.sim.step(label)
+        with span("netsim.phase", label=label, budget=slots):
+            for _ in range(slots):
+                self.sim.step(label)
         return slots
 
     def run_until_quorum(
@@ -86,12 +88,13 @@ class RoundDriver:
             raise ConfigurationError(f"check_every must be positive, got {check_every}")
         done = predicate(self) if predicate is not None else self.quorum_done()
         executed = 0
-        # Bounded by construction: the loop can run at most max_slots steps.
-        for _ in range(max_slots):
-            if done:
-                break
-            self.sim.step(label)
-            executed += 1
-            if executed % check_every == 0:
-                done = predicate(self) if predicate is not None else self.quorum_done()
+        with span("netsim.phase", label=label, budget=max_slots, mode="quorum"):
+            # Bounded by construction: the loop runs at most max_slots steps.
+            for _ in range(max_slots):
+                if done:
+                    break
+                self.sim.step(label)
+                executed += 1
+                if executed % check_every == 0:
+                    done = predicate(self) if predicate is not None else self.quorum_done()
         return executed, bool(done)

@@ -41,6 +41,7 @@ from ..core.quantities import num_rounds_for_delta
 from ..core.repair import TreeRepairer
 from ..exceptions import ConfigurationError, NodeCrashedError, ProtocolError
 from ..geometry import Node, node_distance_matrix
+from ..obs.spans import span
 from ..runtime import ExecutionTrace, spawn_agent_rngs
 from ..sinr import Channel, ExplicitPower, SINRParameters, UniformPower
 from .detector import HeartbeatDetector
@@ -213,21 +214,30 @@ class NetInitBuilder:
 
         rounds_used = 0
         sweeps_used = 0
-        for sweep in range(self.max_sweeps):
-            sweeps_used = sweep + 1
-            for round_index in range(1, rounds_per_sweep + 1):
-                # Same structure as the lockstep builder, but the early-out
-                # reads the detector's view, never agent state: the first
-                # sweep always runs in full, later sweeps stop as soon as at
-                # most one alive-believed node still reports "active".
-                if sweep > 0 and driver.remaining_active() <= 1:
+        with span(
+            "init.build",
+            n=len(node_list),
+            delivery=self.delivery,
+            depth=self._completion_depth,
+        ):
+            for sweep in range(self.max_sweeps):
+                sweeps_used = sweep + 1
+                with span("init.sweep", sweep=sweep):
+                    for round_index in range(1, rounds_per_sweep + 1):
+                        # Same structure as the lockstep builder, but the
+                        # early-out reads the detector's view, never agent
+                        # state: the first sweep always runs in full, later
+                        # sweeps stop as soon as at most one alive-believed
+                        # node still reports "active".
+                        if sweep > 0 and driver.remaining_active() <= 1:
+                            break
+                        rounds_used += 1
+                        with span("init.round", sweep=sweep, round=round_index):
+                            for _ in range(pairs_per_round):
+                                sim.step(label=f"init:sweep{sweep}:round{round_index}:broadcast")
+                                sim.step(label=f"init:sweep{sweep}:round{round_index}:ack")
+                if driver.remaining_active() <= 1:
                     break
-                rounds_used += 1
-                for _ in range(pairs_per_round):
-                    sim.step(label=f"init:sweep{sweep}:round{round_index}:broadcast")
-                    sim.step(label=f"init:sweep{sweep}:round{round_index}:ack")
-            if driver.remaining_active() <= 1:
-                break
 
         crashed_now = sim.crashed_ids()
         parent_probe = {

@@ -38,6 +38,7 @@ from typing import Any, Sequence
 import numpy as np
 
 from ..exceptions import ConfigurationError
+from ..obs.runtime import OBS
 from ..runtime.agent import NodeAgent
 from ..runtime.simulator import Simulator
 from ..runtime.trace import ExecutionTrace, SlotRecord
@@ -123,10 +124,14 @@ class NetSimulator(Simulator):
                 self.agents[i].on_crash(slot)
                 if trace is not None:
                     trace.record_crash(slot, node_id)
+                if OBS.enabled:
+                    OBS.registry.inc("netsim.crashes")
             else:
                 self.agents[i].on_recover(slot)
                 if trace is not None:
                     trace.record_recovery(slot, node_id)
+                if OBS.enabled:
+                    OBS.registry.inc("netsim.recoveries")
 
     # -- engine seams --------------------------------------------------------
 
@@ -188,14 +193,20 @@ class NetSimulator(Simulator):
         for _, pos, reception in sorted(matured, key=lambda item: item[0]):
             if self._crashed[pos]:
                 self.crash_drops += 1
+                if OBS.enabled:
+                    OBS.registry.inc("netsim.crash_drops")
                 continue
             if not self._listening[pos]:
                 # Half-duplex: the receiver transmitted in the arrival slot.
                 self.receiver_busy_drops += 1
+                if OBS.enabled:
+                    OBS.registry.inc("netsim.receiver_busy_drops")
                 continue
             if receptions[pos] is not None:
                 # The older (matured) message wins the receive buffer.
                 self.receiver_busy_drops += 1
+                if OBS.enabled:
+                    OBS.registry.inc("netsim.receiver_busy_drops")
                 pairs = [(dst, src) for dst, src in pairs if dst != self._node_ids[pos]]
             receptions[pos] = reception
             pairs.append((self._node_ids[pos], reception.sender.id))
@@ -229,6 +240,13 @@ class NetSimulator(Simulator):
         record = self.trace.append_slot(
             slot, [self._node_ids[i] for i in tx_pos], pairs, label
         )
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.inc("netsim.slots")
+            if tx_pos:
+                registry.inc("netsim.sends", len(tx_pos))
+            if pairs:
+                registry.inc("netsim.deliveries", len(pairs))
         self._slot += 1
         self._emit_heartbeats(slot)
         return record
@@ -236,7 +254,12 @@ class NetSimulator(Simulator):
     # -- summaries -----------------------------------------------------------
 
     def fault_summary(self) -> dict[str, int]:
-        """Counters of everything the transport did to this run."""
+        """Counters of everything the transport did to this run.
+
+        Includes the reliable-delivery tallies (``retries``/``timeouts``)
+        summed over every agent that owns a :class:`~repro.netsim.delivery
+        .ReliableOutbox` (zero when no agent uses reliable sends).
+        """
         trace = self.fault_trace
         summary = trace.summary() if trace is not None else {
             "dropped": 0, "delayed": 0, "crashes": 0, "recoveries": 0,
@@ -244,4 +267,13 @@ class NetSimulator(Simulator):
         summary["receiver_busy_drops"] = self.receiver_busy_drops
         summary["crash_drops"] = self.crash_drops
         summary["transmissions"] = sum(self.send_budget.values())
+        retries = 0
+        timeouts = 0
+        for agent in self.agents:
+            outbox = getattr(agent, "outbox", None)
+            if outbox is not None:
+                retries += outbox.retries
+                timeouts += len(outbox.timeouts)
+        summary["retries"] = retries
+        summary["timeouts"] = timeouts
         return summary

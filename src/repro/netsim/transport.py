@@ -20,6 +20,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from .._types import BoolArray, IntpArray
+from ..obs.runtime import OBS
 from .faults import FaultPlan, FaultTrace
 
 __all__ = ["FaultyTransport", "PerfectTransport", "Transport"]
@@ -114,6 +115,14 @@ class FaultyTransport(Transport):
                     self.trace.record_drop(slot, int(src_id), int(dst_id))
                 elif d:
                     self.trace.record_delay(slot, int(src_id), int(dst_id), int(d))
+        if OBS.enabled:
+            registry = OBS.registry
+            drop_count = len(dst) - int(delivered.sum())
+            if drop_count:
+                registry.inc("netsim.dropped", drop_count)
+            delay_count = int((delay > 0).sum())
+            if delay_count:
+                registry.inc("netsim.delayed", delay_count)
         return delivered, delay
 
     def is_crashed(self, node_id: int, slot: int) -> bool:

@@ -1,0 +1,27 @@
+"""``python -m repro.obs`` dispatch: currently the ``report`` subcommand."""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Dispatch ``python -m repro.obs <subcommand>``."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: python -m repro.obs report [options]", file=sys.stderr)
+        print("       (see `python -m repro.obs report --help`)", file=sys.stderr)
+        return 0 if argv else 2
+    command, rest = argv[0], argv[1:]
+    if command == "report":
+        from .report import main as report_main
+
+        return report_main(rest)
+    print(f"unknown subcommand {command!r}; expected 'report'", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,290 @@
+"""Registry exporters: JSONL, Prometheus text, Chrome trace-event JSON.
+
+Three formats, one source of truth (:class:`~repro.obs.metrics
+.MetricsRegistry`):
+
+* **JSONL** — one typed JSON object per line (``meta`` / ``counter`` /
+  ``gauge`` / ``histogram`` / ``span``).  Lossless: :func:`read_jsonl`
+  rebuilds a registry whose :meth:`~repro.obs.metrics.MetricsRegistry
+  .snapshot` equals the original's (the round-trip test pins this).
+* **Prometheus text** — the ``# TYPE`` + ``name{labels} value`` exposition
+  format, for eyeballing or scraping a dumped file.  Metric names have
+  ``.`` folded to ``_`` per Prometheus naming rules.
+* **Chrome trace-event JSON** — ``{"traceEvents": [...]}`` with complete
+  (``"X"``) events for spans and metadata (``"M"``) process/thread names,
+  loadable directly in Perfetto (https://ui.perfetto.dev).  Timestamps are
+  microseconds as the format requires.  :func:`validate_chrome_trace`
+  checks the structural rules Perfetto's importer enforces; the exporter
+  tests and the report CLI both run it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Mapping
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "chrome_trace",
+    "prometheus_text",
+    "read_jsonl",
+    "registry_to_jsonl",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+# -- JSONL -------------------------------------------------------------------
+
+
+def registry_to_jsonl(registry: MetricsRegistry) -> str:
+    """Serialize a registry as JSONL text (one typed object per line)."""
+    lines = [json.dumps({"type": "meta", "format": "repro.obs/v1"})]
+    for name, labels, value in registry.counters():
+        lines.append(
+            json.dumps(
+                {"type": "counter", "name": name, "labels": labels, "value": value}
+            )
+        )
+    for name, labels, value in registry.gauges():
+        lines.append(
+            json.dumps(
+                {"type": "gauge", "name": name, "labels": labels, "value": value}
+            )
+        )
+    for name, labels, hist in registry.histograms():
+        lines.append(
+            json.dumps(
+                {
+                    "type": "histogram",
+                    "name": name,
+                    "labels": labels,
+                    "buckets": list(hist.buckets),
+                    "counts": list(hist.counts),
+                    "total": hist.total,
+                    "count": hist.count,
+                }
+            )
+        )
+    for event in registry.spans:
+        lines.append(
+            json.dumps(
+                {
+                    "type": "span",
+                    "name": event.name,
+                    "labels": dict(event.labels),
+                    "ts_ns": event.ts_ns,
+                    "dur_ns": event.dur_ns,
+                    "pid": event.pid,
+                    "tid": event.tid,
+                }
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+def write_jsonl(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write the registry to ``path`` as JSONL; returns the path."""
+    target = Path(path)
+    target.write_text(registry_to_jsonl(registry))
+    return target
+
+
+def read_jsonl(path: str | Path) -> MetricsRegistry:
+    """Rebuild a registry from a JSONL dump (inverse of :func:`write_jsonl`)."""
+    registry = MetricsRegistry()
+    for line_number, line in enumerate(Path(path).read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        row = json.loads(line)
+        kind = row.get("type")
+        if kind == "meta":
+            continue
+        if kind == "counter":
+            registry.counter(row["name"], **row["labels"]).inc(row["value"])
+        elif kind == "gauge":
+            registry.gauge(row["name"], **row["labels"]).set(row["value"])
+        elif kind == "histogram":
+            hist = registry.histogram(row["name"], row["buckets"], **row["labels"])
+            for index, count in enumerate(row["counts"]):
+                hist.counts[index] += count
+            hist.total += row["total"]
+            hist.count += row["count"]
+        elif kind == "span":
+            registry.record_span(
+                row["name"],
+                row["ts_ns"],
+                row["dur_ns"],
+                row["labels"],
+                pid=row["pid"],
+                tid=row["tid"],
+            )
+        else:
+            raise ValueError(f"{path}:{line_number}: unknown record type {kind!r}")
+    return registry
+
+
+# -- Prometheus text ---------------------------------------------------------
+
+_PROM_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _prom_name(name: str) -> str:
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not _PROM_NAME_OK.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_escape(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _prom_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    body = ",".join(
+        f'{_prom_name(key)}="{_prom_escape(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + body + "}"
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Prometheus exposition-format dump of counters, gauges, histograms."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def _type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for name, labels, value in registry.counters():
+        prom = _prom_name(name)
+        _type_line(prom, "counter")
+        lines.append(f"{prom}{_prom_labels(labels)} {value}")
+    for name, labels, value in registry.gauges():
+        prom = _prom_name(name)
+        _type_line(prom, "gauge")
+        lines.append(f"{prom}{_prom_labels(labels)} {value}")
+    for name, labels, hist in registry.histograms():
+        prom = _prom_name(name)
+        _type_line(prom, "histogram")
+        cumulative = 0
+        for bound, count in zip(hist.buckets, hist.counts):
+            cumulative += count
+            bucket_labels = dict(labels)
+            bucket_labels["le"] = repr(bound)
+            lines.append(f"{prom}_bucket{_prom_labels(bucket_labels)} {cumulative}")
+        inf_labels = dict(labels)
+        inf_labels["le"] = "+Inf"
+        lines.append(f"{prom}_bucket{_prom_labels(inf_labels)} {hist.count}")
+        lines.append(f"{prom}_sum{_prom_labels(labels)} {hist.total}")
+        lines.append(f"{prom}_count{_prom_labels(labels)} {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+# -- Chrome trace-event JSON (Perfetto) --------------------------------------
+
+
+def chrome_trace(registry: MetricsRegistry) -> dict[str, Any]:
+    """Registry spans as a Chrome trace-event object (Perfetto-loadable).
+
+    Spans become complete (``"X"``) events with microsecond timestamps;
+    each distinct pid gets a ``process_name`` metadata event so trial-fabric
+    workers show up as named track groups.
+    """
+    events: list[dict[str, Any]] = []
+    seen_pids: set[int] = set()
+    seen_tids: set[tuple[int, int]] = set()
+    for event in registry.spans:
+        if event.pid not in seen_pids:
+            seen_pids.add(event.pid)
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": event.pid,
+                    "tid": 0,
+                    "args": {"name": f"repro pid {event.pid}"},
+                }
+            )
+        if (event.pid, event.tid) not in seen_tids:
+            seen_tids.add((event.pid, event.tid))
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": event.pid,
+                    "tid": event.tid,
+                    "args": {"name": f"thread {event.tid}"},
+                }
+            )
+        events.append(
+            {
+                "name": event.name,
+                "cat": event.name.split(".", 1)[0],
+                "ph": "X",
+                "ts": event.ts_ns / 1_000.0,
+                "dur": event.dur_ns / 1_000.0,
+                "pid": event.pid,
+                "tid": event.tid,
+                "args": dict(event.labels),
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write :func:`chrome_trace` JSON to ``path``; returns the path."""
+    target = Path(path)
+    target.write_text(json.dumps(chrome_trace(registry)))
+    return target
+
+
+def validate_chrome_trace(trace: Mapping[str, Any]) -> None:
+    """Raise ``ValueError`` unless ``trace`` is structurally trace-event JSON.
+
+    Checks the rules Perfetto's importer enforces on the JSON trace format:
+    a ``traceEvents`` list; every event a dict with a string ``ph`` phase;
+    complete (``"X"``) events carrying a string ``name``, numeric ``ts``,
+    non-negative numeric ``dur``, and integer ``pid``/``tid``; metadata
+    (``"M"``) events carrying a known name and an ``args`` dict.
+    """
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        raise ValueError("trace must carry a 'traceEvents' list")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"traceEvents[{index}] is not an object")
+        phase = event.get("ph")
+        if not isinstance(phase, str) or not phase:
+            raise ValueError(f"traceEvents[{index}] missing phase 'ph'")
+        if phase == "X":
+            if not isinstance(event.get("name"), str):
+                raise ValueError(f"traceEvents[{index}] 'X' event missing name")
+            for field in ("ts", "dur"):
+                value = event.get(field)
+                if not isinstance(value, (int, float)) or isinstance(value, bool):
+                    raise ValueError(
+                        f"traceEvents[{index}] 'X' event field {field!r} not numeric"
+                    )
+            if event["dur"] < 0:
+                raise ValueError(f"traceEvents[{index}] negative duration")
+            for field in ("pid", "tid"):
+                if not isinstance(event.get(field), int):
+                    raise ValueError(
+                        f"traceEvents[{index}] 'X' event field {field!r} not an int"
+                    )
+        elif phase == "M":
+            if event.get("name") not in ("process_name", "thread_name", "process_labels"):
+                raise ValueError(f"traceEvents[{index}] unknown metadata name")
+            if not isinstance(event.get("args"), dict):
+                raise ValueError(f"traceEvents[{index}] metadata missing args")
+        else:
+            raise ValueError(f"traceEvents[{index}] unsupported phase {phase!r}")

@@ -1,0 +1,330 @@
+"""Metrics instruments and the registry that owns them.
+
+Three instrument kinds, all keyed by ``(name, labels)``:
+
+* :class:`Counter` — a monotone sum (``inc``).  Counters are the *exact*
+  instruments: every increment is a deterministic consequence of the
+  simulated protocol, so merged counters are bit-identical at any worker
+  count (the parity tests pin this).
+* :class:`Gauge` — a last-written value (``set``).  Merges keep the last
+  value in submission order, which the trial fabric makes deterministic by
+  merging chunk payloads in sweep order.
+* :class:`Histogram` — fixed upper-bound buckets plus sum/count.  Bucket
+  *counts* of deterministic observations merge exactly; duration
+  observations are wall-clock and therefore never part of parity claims.
+
+A :class:`MetricsRegistry` also records completed :class:`SpanEvent` rows
+(see :mod:`repro.obs.spans`) so one object carries everything an exporter
+needs.  Registries convert to plain-JSON *payloads* (:meth:`MetricsRegistry
+.to_payload`) that cross process boundaries — each trial-fabric worker
+accumulates into a local registry and the parent merges the payloads — and
+:meth:`MetricsRegistry.snapshot` is the canonical comparable form the
+round-trip and determinism tests equate.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS_NS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanEvent",
+]
+
+#: Default histogram buckets for durations in nanoseconds: 1 µs .. 10 s.
+DEFAULT_TIME_BUCKETS_NS: tuple[float, ...] = tuple(
+    float(10**exp) for exp in range(3, 11)
+)
+
+#: Internal registry key: ``(name, ((label, value), ...))``.
+_Key = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _labels_key(labels: Mapping[str, Any]) -> tuple[tuple[str, str], ...]:
+    """Canonical label tuple: sorted, values stringified (JSON-stable)."""
+    return tuple((key, str(value)) for key, value in sorted(labels.items()))
+
+
+class Counter:
+    """A monotone accumulator."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: int | float = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-written value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram: counts per upper bound plus an overflow slot.
+
+    Args:
+        buckets: strictly increasing upper bounds; an observation lands in
+            the first bucket whose bound is >= the value, or in the implicit
+            overflow slot past the last bound.
+    """
+
+    __slots__ = ("buckets", "count", "counts", "total")
+
+    def __init__(self, buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_NS) -> None:
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError(f"bucket bounds must be strictly increasing: {bounds}")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: int | float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed span, ready for the Chrome trace exporter.
+
+    Attributes:
+        name: span name (Perfetto slice title).
+        labels: canonical label tuple (exported as trace-event ``args``).
+        ts_ns: wall-clock start, nanoseconds since the Unix epoch.
+        dur_ns: monotonic duration in nanoseconds.
+        pid: process that recorded the span (one Perfetto track group per
+            trial-fabric worker).
+        tid: thread that recorded the span.
+    """
+
+    name: str
+    labels: tuple[tuple[str, str], ...]
+    ts_ns: int
+    dur_ns: int
+    pid: int
+    tid: int
+
+
+class MetricsRegistry:
+    """Owns every instrument and span of one telemetry scope."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms", "spans")
+
+    def __init__(self) -> None:
+        self._counters: dict[_Key, Counter] = {}
+        self._gauges: dict[_Key, Gauge] = {}
+        self._histograms: dict[_Key, Histogram] = {}
+        self.spans: list[SpanEvent] = []
+
+    # -- instrument access ---------------------------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = (name, _labels_key(labels))
+        instrument = self._counters.get(key)
+        if instrument is None:
+            instrument = self._counters[key] = Counter()
+        return instrument
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = (name, _labels_key(labels))
+        instrument = self._gauges.get(key)
+        if instrument is None:
+            instrument = self._gauges[key] = Gauge()
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS_NS,
+        **labels: Any,
+    ) -> Histogram:
+        key = (name, _labels_key(labels))
+        instrument = self._histograms.get(key)
+        if instrument is None:
+            instrument = self._histograms[key] = Histogram(buckets)
+        return instrument
+
+    def inc(self, name: str, amount: int | float = 1, **labels: Any) -> None:
+        """Shorthand: bump the counter ``(name, labels)`` by ``amount``."""
+        self.counter(name, **labels).inc(amount)
+
+    def record_span(
+        self,
+        name: str,
+        ts_ns: int,
+        dur_ns: int,
+        labels: Mapping[str, Any],
+        *,
+        pid: int,
+        tid: int,
+    ) -> None:
+        self.spans.append(
+            SpanEvent(
+                name=name,
+                labels=_labels_key(labels),
+                ts_ns=int(ts_ns),
+                dur_ns=int(dur_ns),
+                pid=pid,
+                tid=tid,
+            )
+        )
+
+    # -- iteration (exporters, tables) --------------------------------------
+
+    def counters(self) -> Iterator[tuple[str, dict[str, str], int | float]]:
+        """``(name, labels, value)`` rows in sorted key order."""
+        for (name, labels), instrument in sorted(self._counters.items()):
+            yield name, dict(labels), instrument.value
+
+    def gauges(self) -> Iterator[tuple[str, dict[str, str], int | float]]:
+        for (name, labels), instrument in sorted(self._gauges.items()):
+            yield name, dict(labels), instrument.value
+
+    def histograms(self) -> Iterator[tuple[str, dict[str, str], Histogram]]:
+        for (name, labels), instrument in sorted(self._histograms.items()):
+            yield name, dict(labels), instrument
+
+    def counter_value(self, name: str, **labels: Any) -> int | float:
+        """Current value of one counter (0 if it was never touched)."""
+        instrument = self._counters.get((name, _labels_key(labels)))
+        return 0 if instrument is None else instrument.value
+
+    def clear(self) -> None:
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+        self.spans.clear()
+
+    # -- cross-process payloads ----------------------------------------------
+
+    def to_payload(self) -> dict[str, list]:
+        """Plain-JSON form: lists of rows, safe to pickle or json-dump."""
+        return {
+            "counters": [
+                [name, [list(pair) for pair in labels], counter.value]
+                for (name, labels), counter in sorted(self._counters.items())
+            ],
+            "gauges": [
+                [name, [list(pair) for pair in labels], gauge.value]
+                for (name, labels), gauge in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                [
+                    name,
+                    [list(pair) for pair in labels],
+                    list(hist.buckets),
+                    list(hist.counts),
+                    hist.total,
+                    hist.count,
+                ]
+                for (name, labels), hist in sorted(self._histograms.items())
+            ],
+            "spans": [
+                [
+                    span.name,
+                    [list(pair) for pair in span.labels],
+                    span.ts_ns,
+                    span.dur_ns,
+                    span.pid,
+                    span.tid,
+                ]
+                for span in self.spans
+            ],
+        }
+
+    def merge_payload(self, payload: Mapping[str, list]) -> None:
+        """Fold a worker payload in: sum counters/histograms, extend spans.
+
+        Gauges keep the payload's value (last writer wins); the trial fabric
+        merges chunk payloads in sweep order, which makes that deterministic.
+        """
+        for name, labels, value in payload.get("counters", []):
+            key = (name, tuple(tuple(pair) for pair in labels))
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = Counter()
+            counter.inc(value)
+        for name, labels, value in payload.get("gauges", []):
+            key = (name, tuple(tuple(pair) for pair in labels))
+            gauge = self._gauges.get(key)
+            if gauge is None:
+                gauge = self._gauges[key] = Gauge()
+            gauge.set(value)
+        for name, labels, buckets, counts, total, count in payload.get("histograms", []):
+            key = (name, tuple(tuple(pair) for pair in labels))
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram(buckets)
+            if tuple(hist.buckets) != tuple(float(b) for b in buckets):
+                raise ValueError(
+                    f"histogram {key[0]!r} bucket mismatch on merge: "
+                    f"{hist.buckets} vs {tuple(buckets)}"
+                )
+            for index, bucket_count in enumerate(counts):
+                hist.counts[index] += bucket_count
+            hist.total += total
+            hist.count += count
+        for name, labels, ts_ns, dur_ns, pid, tid in payload.get("spans", []):
+            self.spans.append(
+                SpanEvent(
+                    name=name,
+                    labels=tuple(tuple(pair) for pair in labels),
+                    ts_ns=ts_ns,
+                    dur_ns=dur_ns,
+                    pid=pid,
+                    tid=tid,
+                )
+            )
+
+    @classmethod
+    def from_payload(cls, payload: Mapping[str, list]) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge_payload(payload)
+        return registry
+
+    # -- comparison ----------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Canonical comparable form (tests equate these across round-trips)."""
+        return {
+            "counters": {
+                (name, labels): counter.value
+                for (name, labels), counter in self._counters.items()
+            },
+            "gauges": {
+                (name, labels): gauge.value
+                for (name, labels), gauge in self._gauges.items()
+            },
+            "histograms": {
+                (name, labels): (hist.buckets, tuple(hist.counts), hist.total, hist.count)
+                for (name, labels), hist in self._histograms.items()
+            },
+            "spans": tuple(self.spans),
+        }
+
+    def counter_totals(self) -> dict[str, int | float]:
+        """Counter values summed over labels, keyed by bare name."""
+        totals: dict[str, int | float] = {}
+        for name, _, value in self.counters():
+            totals[name] = totals.get(name, 0) + value
+        return totals

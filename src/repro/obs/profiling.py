@@ -1,0 +1,62 @@
+"""Allocation profiling shared by ``repro.obs report`` and profile_hotpaths.
+
+One ``tracemalloc`` pass over a callable, returned as structured rows so the
+CLI table renderer and the ``--json`` path of ``scripts/profile_hotpaths.py``
+consume the same data.  Kept separate from the metrics registry on purpose:
+tracemalloc is a whole-interpreter switch with real overhead, so it never
+rides along with the zero-overhead counter path - callers opt in per run.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from typing import Any, Callable, TypeVar
+
+__all__ = ["top_allocations"]
+
+T = TypeVar("T")
+
+
+def top_allocations(
+    fn: Callable[[], T],
+    *,
+    top: int = 15,
+    frames: int = 25,
+    strip_prefix: str | None = None,
+) -> tuple[T, list[dict[str, Any]]]:
+    """Run ``fn`` under tracemalloc and return its result plus the top sites.
+
+    Args:
+        fn: zero-argument callable to profile (wrap arguments in a lambda).
+        top: number of allocation sites to keep, largest first.
+        frames: traceback depth recorded per allocation.
+        strip_prefix: path prefix (usually the repo root) removed from
+            locations so repo files render relative while stdlib/numpy
+            frames stay absolute.
+
+    Returns:
+        ``(result, rows)`` where each row has ``kib`` (KiB allocated over
+        the run), ``blocks`` and ``location`` (``file:line``).
+    """
+    tracemalloc.start(frames)
+    try:
+        result = fn()
+        snapshot = tracemalloc.take_snapshot()
+    finally:
+        tracemalloc.stop()
+    rows: list[dict[str, Any]] = []
+    for stat in snapshot.statistics("lineno")[:top]:
+        frame = stat.traceback[0]
+        location = f"{frame.filename}:{frame.lineno}"
+        if strip_prefix:
+            prefix = strip_prefix.rstrip("/") + "/"
+            if location.startswith(prefix):
+                location = location[len(prefix):]
+        rows.append(
+            {
+                "kib": stat.size / 1024.0,
+                "blocks": stat.count,
+                "location": location,
+            }
+        )
+    return result, rows

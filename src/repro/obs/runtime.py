@@ -1,0 +1,98 @@
+"""The process-global telemetry switch: the ``OBS`` singleton.
+
+Telemetry is off by default and must cost nothing measurable when off.
+The enabled-guard idiom every instrumentation site follows::
+
+    from repro.obs import OBS
+
+    if OBS.enabled:
+        OBS.registry.inc("sim.slots")
+
+When disabled the whole site is one attribute load and a false branch —
+no registry lookup, no label tuple, no allocation.  repro-lint rule RL011
+enforces the idiom statically inside ``@hot_kernel`` bodies (the only
+place a stray unguarded call could tax the per-slot path); everywhere
+else it is convention, pinned by the overhead benchmark
+(``benchmarks/bench_obs.py``).
+
+``OBS.registry`` is always a live :class:`~repro.obs.metrics
+.MetricsRegistry` (never ``None``), so guarded sites skip a null check;
+:func:`enable` can swap in a per-run registry and :func:`telemetry` scopes
+one to a ``with`` block.  Telemetry never consumes RNG and never mutates
+simulation inputs — the parity tests pin runs bit-identical on vs. off.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "OBS",
+    "disable",
+    "enable",
+    "get_registry",
+    "telemetry",
+    "telemetry_enabled",
+]
+
+
+class _ObsState:
+    """Mutable holder for the global switch; ``OBS`` is the one instance."""
+
+    __slots__ = ("enabled", "registry")
+
+    def __init__(self) -> None:
+        self.enabled: bool = False
+        self.registry: MetricsRegistry = MetricsRegistry()
+
+
+#: The process-global telemetry state.  Hot paths read ``OBS.enabled`` only.
+OBS = _ObsState()
+
+
+def telemetry_enabled() -> bool:
+    """Whether telemetry is currently recording."""
+    return OBS.enabled
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry instrumentation currently writes to."""
+    return OBS.registry
+
+
+def enable(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Turn telemetry on, optionally swapping in a per-run registry.
+
+    Returns the registry now receiving writes (a convenience for
+    ``registry = enable()`` call sites).
+    """
+    if registry is not None:
+        OBS.registry = registry
+    OBS.enabled = True
+    return OBS.registry
+
+
+def disable() -> None:
+    """Stop recording.  The registry keeps its contents for export."""
+    OBS.enabled = False
+
+
+@contextmanager
+def telemetry(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Scope telemetry to a ``with`` block; restores prior state on exit.
+
+    >>> with telemetry() as reg:
+    ...     run_experiment(...)
+    >>> reg.counter_value("sim.slots")
+    """
+    previous_enabled = OBS.enabled
+    previous_registry = OBS.registry
+    active = enable(registry if registry is not None else MetricsRegistry())
+    try:
+        yield active
+    finally:
+        OBS.enabled = previous_enabled
+        OBS.registry = previous_registry

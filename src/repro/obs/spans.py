@@ -1,0 +1,84 @@
+"""Span tracing: timed scopes that become Perfetto slices.
+
+Two shapes, both no-ops when telemetry is off:
+
+* :func:`span` — a context manager for code with lexical scope::
+
+      with span("netsim.phase", label="broadcast"):
+          driver.run_phase(...)
+
+* :func:`begin_span` / :func:`end_span` — explicit begin/end for the batch
+  slot engine and other sites where the scope crosses method boundaries.
+  ``begin_span`` returns ``None`` when disabled; ``end_span(None)`` is a
+  cheap no-op, so call sites need no branching of their own beyond the
+  enabled-guard idiom.
+
+Timing uses ``perf_counter_ns`` for durations (monotonic) and anchors the
+wall-clock epoch once per process (``time_ns``), so span start times are
+consistent within a trace and comparable across trial-fabric workers.
+Spans record wall time only — no RNG, no mutation — and are excluded from
+cross-worker determinism claims (counters carry those; see
+:mod:`repro.obs.metrics`).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Iterator
+
+from .runtime import OBS
+
+__all__ = ["ActiveSpan", "begin_span", "end_span", "span"]
+
+# Wall-clock anchor: ts_ns = _EPOCH_NS + (perf_counter_ns() - _EPOCH_PERF_NS).
+_EPOCH_NS = time.time_ns()
+_EPOCH_PERF_NS = time.perf_counter_ns()
+
+
+class ActiveSpan:
+    """An open span handle returned by :func:`begin_span`."""
+
+    __slots__ = ("labels", "name", "start_perf_ns")
+
+    def __init__(self, name: str, labels: dict[str, Any]) -> None:
+        self.name = name
+        self.labels = labels
+        self.start_perf_ns = time.perf_counter_ns()
+
+
+def begin_span(name: str, **labels: Any) -> ActiveSpan | None:
+    """Open a span; returns ``None`` when telemetry is off."""
+    if not OBS.enabled:
+        return None
+    return ActiveSpan(name, labels)
+
+
+def end_span(handle: ActiveSpan | None) -> None:
+    """Close a span opened by :func:`begin_span` (``None`` is a no-op)."""
+    if handle is None:
+        return
+    stop_perf_ns = time.perf_counter_ns()
+    OBS.registry.record_span(
+        handle.name,
+        _EPOCH_NS + (handle.start_perf_ns - _EPOCH_PERF_NS),
+        stop_perf_ns - handle.start_perf_ns,
+        handle.labels,
+        pid=os.getpid(),
+        tid=threading.get_ident(),
+    )
+
+
+@contextmanager
+def span(name: str, **labels: Any) -> Iterator[None]:
+    """Record a timed scope as one span event (no-op when disabled)."""
+    if not OBS.enabled:
+        yield
+        return
+    handle = ActiveSpan(name, labels)
+    try:
+        yield
+    finally:
+        end_span(handle)

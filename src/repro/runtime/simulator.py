@@ -35,6 +35,8 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..exceptions import ProtocolError
+from ..obs.runtime import OBS
+from ..obs.spans import span
 from ..sinr import MAX_CACHED_CHANNEL_NODES, CachedChannel, Channel, Reception, Transmission
 from ..sinr.channel import ensure_positive_powers
 from ..state import DecodeWorkspace
@@ -278,6 +280,13 @@ class Simulator:
         record = self.trace.append_slot(
             slot, [self._node_ids[i] for i in tx_pos], pairs, label
         )
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.inc("sim.slots")
+            if tx_pos:
+                registry.inc("sim.transmissions", len(tx_pos))
+            if pairs:
+                registry.inc("sim.receptions", len(pairs))
         self._slot += 1
         return record
 
@@ -309,6 +318,13 @@ class Simulator:
             [(listener, rec.sender.id) for listener, rec in receptions.items()],
             label,
         )
+        if OBS.enabled:
+            registry = OBS.registry
+            registry.inc("sim.slots")
+            if transmitter_ids:
+                registry.inc("sim.transmissions", len(transmitter_ids))
+            if receptions:
+                registry.inc("sim.receptions", len(receptions))
         self._slot += 1
         return record
 
@@ -316,8 +332,9 @@ class Simulator:
         """Execute a fixed number of slots."""
         if slots < 0:
             raise ValueError("slots must be non-negative")
-        for _ in range(slots):
-            self.step(label)
+        with span("sim.run", slots=slots, label=label, engine=self._engine):
+            for _ in range(slots):
+                self.step(label)
         return self.trace
 
     def run_until(
@@ -336,13 +353,14 @@ class Simulator:
                 predicate becoming true.
         """
         executed = 0
-        while not predicate(self):
-            if executed >= max_slots:
-                raise ProtocolError(
-                    f"predicate not satisfied within {max_slots} slots (label={label!r})"
-                )
-            self.step(label)
-            executed += 1
+        with span("sim.run_until", max_slots=max_slots, label=label):
+            while not predicate(self):
+                if executed >= max_slots:
+                    raise ProtocolError(
+                        f"predicate not satisfied within {max_slots} slots (label={label!r})"
+                    )
+                self.step(label)
+                executed += 1
         return self.trace
 
     def all_done(self) -> bool:

@@ -26,6 +26,7 @@ from tools.repro_lint.rules.hygiene import (
 from tools.repro_lint.rules.parity import ParityOracleCoverage
 from tools.repro_lint.rules.rng import RngDiscipline
 from tools.repro_lint.rules.shared_state import SharedStateMutation
+from tools.repro_lint.rules.obs_guard import ObsGuardInHotKernel
 from tools.repro_lint.rules.waits import UnboundedWait
 from tools.repro_lint.reporters import render_json, render_text
 
@@ -627,3 +628,102 @@ class TestUnboundedWait:
             [str(REPO_ROOT / "src" / "repro" / "netsim")], rules=[UnboundedWait()]
         )
         assert [f for f in result.findings if f.code == "RL010"] == []
+
+
+# ---------------------------------------------------------------------------
+# RL011 — telemetry in hot kernels must sit behind the enabled guard
+# ---------------------------------------------------------------------------
+
+
+class TestObsGuardInHotKernel:
+    def test_trigger_unguarded_counter_bump(self):
+        findings = lint_source(
+            "from repro.contracts import hot_kernel\n"
+            "from repro.obs.runtime import OBS\n"
+            "@hot_kernel()\n"
+            "def _decode_fast(dist, workspace):\n"
+            "    OBS.registry.inc('decode.calls')\n"
+            "    return dist\n",
+            rules=[ObsGuardInHotKernel()],
+        )
+        assert codes(findings) == ["RL011"]
+        assert "enabled guard" in findings[0].message
+
+    def test_trigger_unguarded_span(self):
+        findings = lint_source(
+            "from repro.contracts import hot_kernel\n"
+            "from repro.obs.spans import span\n"
+            "@hot_kernel()\n"
+            "def _decode_fast(dist, workspace):\n"
+            "    with span('decode'):\n"
+            "        return dist\n",
+            rules=[ObsGuardInHotKernel()],
+        )
+        assert codes(findings) == ["RL011"]
+
+    def test_trigger_guard_on_wrong_condition(self):
+        findings = lint_source(
+            "from repro.contracts import hot_kernel\n"
+            "from repro.obs.runtime import OBS\n"
+            "@hot_kernel()\n"
+            "def _decode_fast(dist, workspace, verbose):\n"
+            "    if verbose:\n"
+            "        OBS.registry.inc('decode.calls')\n"
+            "    return dist\n",
+            rules=[ObsGuardInHotKernel()],
+        )
+        assert codes(findings) == ["RL011"]
+
+    def test_near_miss_enabled_guard_is_clean(self):
+        findings = lint_source(
+            "from repro.contracts import hot_kernel\n"
+            "from repro.obs.runtime import OBS\n"
+            "@hot_kernel()\n"
+            "def _decode_fast(dist, workspace):\n"
+            "    if OBS.enabled:\n"
+            "        OBS.registry.inc('decode.calls')\n"
+            "    return dist\n",
+            rules=[ObsGuardInHotKernel()],
+        )
+        assert findings == []
+
+    def test_near_miss_predicate_guard_is_clean(self):
+        findings = lint_source(
+            "from repro.contracts import hot_kernel\n"
+            "from repro.obs.runtime import OBS, telemetry_enabled\n"
+            "@hot_kernel()\n"
+            "def _decode_fast(dist, workspace):\n"
+            "    if telemetry_enabled():\n"
+            "        OBS.registry.inc('decode.calls')\n"
+            "    return dist\n",
+            rules=[ObsGuardInHotKernel()],
+        )
+        assert findings == []
+
+    def test_near_miss_reading_the_flag_is_the_idiom(self):
+        findings = lint_source(
+            "from repro.contracts import hot_kernel\n"
+            "from repro.obs.runtime import OBS\n"
+            "@hot_kernel()\n"
+            "def _decode_fast(dist, workspace):\n"
+            "    flag = OBS.enabled\n"
+            "    return dist if flag else None\n",
+            rules=[ObsGuardInHotKernel()],
+        )
+        assert findings == []
+
+    def test_rule_ignores_functions_outside_kernels(self):
+        findings = lint_source(
+            "from repro.obs.runtime import OBS\n"
+            "def harness(dist):\n"
+            "    OBS.registry.inc('harness.calls')\n"
+            "    return dist\n",
+            rules=[ObsGuardInHotKernel()],
+        )
+        assert findings == []
+
+    def test_source_tree_is_rl011_clean(self):
+        result = lint_paths(
+            [str(REPO_ROOT / "src" / "repro")], rules=[ObsGuardInHotKernel()]
+        )
+        assert [f for f in result.findings if f.code == "RL011"] == []

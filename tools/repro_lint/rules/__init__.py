@@ -39,6 +39,7 @@ def all_rules() -> list[Rule]:
     from .shared_state import SharedStateMutation
     from .parity import ParityOracleCoverage
     from .waits import UnboundedWait
+    from .obs_guard import ObsGuardInHotKernel
     from .hygiene import (
         BareExcept,
         MissingDunderAll,
@@ -57,4 +58,5 @@ def all_rules() -> list[Rule]:
         MutableDefaultArg(),
         BareExcept(),
         UnboundedWait(),
+        ObsGuardInHotKernel(),
     ]

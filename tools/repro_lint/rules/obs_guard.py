@@ -1,0 +1,123 @@
+"""RL011 — telemetry inside a hot kernel must sit behind the enabled guard.
+
+``repro.obs`` promises that *disabled telemetry costs nothing measurable*.
+Inside a ``@hot_kernel(...)`` body that promise only holds if every obs
+touch — ``OBS.registry.inc(...)``, ``span(...)`` context managers,
+``begin_span``/``end_span`` pairs, registry lookups — is reached through the
+enabled-guard idiom::
+
+    if OBS.enabled:
+        OBS.registry.inc("sim.slots")
+
+which costs one attribute load and a false branch when telemetry is off.
+This rule flags any obs reference in a hot-kernel body that is *not* inside
+an ``if`` (or conditional expression) whose test reads ``OBS.enabled`` or
+calls ``telemetry_enabled()`` / ``kernel_timers_active()``.  Reading
+``OBS.enabled`` itself is always allowed — it *is* the guard.
+
+Kernel timing itself never trips this rule: ``instrument_kernels()`` wraps
+kernels from the outside, so their bodies stay instrumentation-free.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from ..astutil import dotted_parts
+from ..engine import Finding, Module
+from . import Rule
+
+__all__ = ["ObsGuardInHotKernel"]
+
+#: Bare helper names whose call records telemetry (module-level obs API).
+_OBS_HELPERS = frozenset({
+    "span", "begin_span", "end_span", "get_registry", "telemetry",
+    "record_span", "enable", "disable",
+})
+
+#: Guard predicates: calling these (or reading ``OBS.enabled``) is the idiom.
+_GUARD_CALLS = frozenset({"telemetry_enabled", "kernel_timers_active"})
+
+
+def _is_enabled_guard(test: ast.expr) -> bool:
+    """True when the test reads ``OBS.enabled`` or calls a guard predicate."""
+    for node in ast.walk(test):
+        if isinstance(node, ast.Attribute):
+            parts = dotted_parts(node)
+            if len(parts) >= 2 and parts[-2] == "OBS" and parts[-1] == "enabled":
+                return True
+        if isinstance(node, ast.Call):
+            parts = dotted_parts(node.func)
+            if parts and parts[-1] in _GUARD_CALLS:
+                return True
+    return False
+
+
+def _obs_reason(node: ast.AST) -> str | None:
+    """Why ``node`` is an unguarded obs touch, or ``None`` if it is not one."""
+    if isinstance(node, ast.Attribute):
+        parts = dotted_parts(node)
+        if parts and parts[0] == "OBS":
+            return f"touches {'.'.join(parts)}"
+    if isinstance(node, ast.Name) and node.id == "OBS":
+        return "passes the OBS singleton around"
+    if isinstance(node, ast.Call):
+        parts = dotted_parts(node.func)
+        if parts and parts[-1] in _OBS_HELPERS and (
+            len(parts) == 1 or parts[0] in ("obs", "spans", "runtime")
+        ):
+            return f"calls {parts[-1]}(...)"
+    return None
+
+
+def _iter_unguarded(node: ast.AST) -> Iterator[tuple[ast.AST, str]]:
+    """Yield ``(node, reason)`` for obs touches outside an enabled guard.
+
+    Bodies governed by an enabled-guard test are skipped wholesale (their
+    ``else`` branches are still walked); ``OBS.enabled`` reads are treated
+    as the guard idiom itself and never flagged.
+    """
+    if isinstance(node, ast.If) and _is_enabled_guard(node.test):
+        for stmt in node.orelse:
+            yield from _iter_unguarded(stmt)
+        return
+    if isinstance(node, ast.IfExp) and _is_enabled_guard(node.test):
+        yield from _iter_unguarded(node.orelse)
+        return
+    if isinstance(node, ast.Attribute):
+        parts = dotted_parts(node)
+        if len(parts) >= 2 and parts[-2] == "OBS" and parts[-1] == "enabled":
+            return  # the guard idiom itself; do not descend into its Name
+    reason = _obs_reason(node)
+    if reason is not None:
+        yield node, reason
+        return  # one finding per reference, not one per sub-expression
+    for child in ast.iter_child_nodes(node):
+        yield from _iter_unguarded(child)
+
+
+class ObsGuardInHotKernel(Rule):
+    code = "RL011"
+    name = "obs-guard-in-hot-kernel"
+    severity = "error"
+
+    def check(self, module: Module) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for kernel in module.kernels:
+            for stmt in kernel.node.body:
+                for node, reason in _iter_unguarded(stmt):
+                    findings.append(Finding(
+                        code=self.code,
+                        message=(
+                            f"hot kernel '{kernel.qualname}' {reason} outside the "
+                            "enabled guard; wrap it in `if OBS.enabled:` so "
+                            "disabled telemetry stays free"
+                        ),
+                        path=module.path,
+                        line=getattr(node, "lineno", kernel.node.lineno),
+                        end_line=getattr(node, "end_lineno", kernel.node.lineno),
+                        severity=self.severity,
+                        symbol=kernel.qualname,
+                    ))
+        return findings
