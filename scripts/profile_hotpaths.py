@@ -29,6 +29,7 @@ import cProfile
 import io
 import json
 import pstats
+import resource
 import sys
 from pathlib import Path
 from typing import Any
@@ -108,6 +109,10 @@ def main(argv: list[str] | None = None) -> int:
     config = ExperimentConfig.full() if args.full else ExperimentConfig.quick()
     report = profile_time(run, config, args.top)
     report["allocations"] = profile_allocations(run, config, args.top)
+    # Peak RSS of this process after both passes (ru_maxrss is KiB on Linux):
+    # the memory half of a perf claim, next to where the time is spent.
+    rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    report["peak_rss_bytes"] = int(rss) * (1 if sys.platform == "darwin" else 1024)
 
     if args.json:
         print(json.dumps(report, indent=2))
@@ -115,6 +120,7 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"== {report['experiment_id']}: {report['title']}")
     print(f"   rows: {report['rows']}, summary: {report['summary']}")
+    print(f"   peak RSS: {report['peak_rss_bytes'] / 1e6:.1f} MB")
     for sort_key, title in (("cumulative", "cumulative time"), ("tottime", "internal time")):
         print(f"\n-- top {args.top} by {title} " + "-" * 40)
         print(report["profiles"][sort_key])

@@ -10,7 +10,9 @@ the repo; CI runs the micro-benchmarks non-blockingly and uploads the fresh
 JSON as an artifact for comparison.
 
 ``--compare`` takes a prior baseline file, prints a per-benchmark delta
-table (mean wall-clock new vs old) and exits non-zero when any benchmark
+table (best-round wall-clock new vs old — minima, because on shared or
+oversubscribed runners scheduler bursts only ever add time, so the fastest
+round is the robust observation) and exits non-zero when any benchmark
 regressed beyond ``--regression-threshold``; ``--compare-report`` writes the
 rendered table to a file (CI uploads it as an artifact).
 
@@ -22,12 +24,22 @@ the 0.0 a single round always produces - which is what makes ``--compare``
 deltas meaningful.  The actual per-benchmark round count lands in each
 row's ``rounds`` field, straight from pytest-benchmark's stats.
 
+``--repeat N`` (default 1) runs the whole suite N times and keeps, per
+benchmark, the statistics of the run that achieved the fastest round -
+best-of-N, the other half of the noise story: ``--rounds`` spreads one
+benchmark's rounds over seconds, ``--repeat`` spreads its observations
+over whole-suite minutes, so a multi-second scheduler burst on a shared
+runner cannot contaminate every sample of any benchmark.  The exit code
+is the best across repeats for the same reason (an in-benchmark floor
+assertion that passes in any repeat demonstrably holds).
+
 Usage:
     python scripts/run_benchmarks.py                         # full suite -> BENCH_PR5.json
     python scripts/run_benchmarks.py --select "micro or slot_engine"
     python scripts/run_benchmarks.py --tag PR6               # -> BENCH_PR6.json
     python scripts/run_benchmarks.py --output /tmp/bench.json
     python scripts/run_benchmarks.py --rounds 5 --warmup 2
+    python scripts/run_benchmarks.py --repeat 3               # best-of-3 suite runs
     python scripts/run_benchmarks.py --compare BENCH_PR4.json --regression-threshold 1.3
 """
 
@@ -37,6 +49,7 @@ import argparse
 import json
 import os
 import platform
+import resource
 import subprocess
 import sys
 import tempfile
@@ -49,7 +62,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.experiments.parallel import usable_cpu_count  # noqa: E402
 
 # Tag of the baseline currently being grown; bump per perf-relevant PR.
-DEFAULT_TAG = "PR8"
+DEFAULT_TAG = "PR9"
+
+
+def peak_rss_bytes(who: int = resource.RUSAGE_SELF) -> int:
+    """Peak resident set size in bytes (``ru_maxrss`` is KiB on Linux)."""
+    rss = resource.getrusage(who).ru_maxrss
+    return int(rss) * (1 if sys.platform == "darwin" else 1024)
 
 
 def machine_info() -> dict:
@@ -110,15 +129,52 @@ def summarize(raw_json: Path) -> list[dict]:
     return rows
 
 
+def merge_best(runs: list[list[dict]]) -> list[dict]:
+    """Per-benchmark best-of-N merge: keep the row with the fastest round.
+
+    Rows are matched by name across suite repeats; for each benchmark the
+    whole stats row of the repeat that achieved the lowest ``min_s`` wins
+    (falling back to ``mean_s`` when rounds were not recorded), so the
+    merged baseline stays a set of internally consistent observations
+    rather than a mix of statistics from different runs.
+    """
+    best: dict[str, dict] = {}
+    for rows in runs:
+        for row in rows:
+            name = row.get("name") or ""
+            incumbent = best.get(name)
+            challenger_stat = _compare_stat(row)
+            if incumbent is None or (
+                challenger_stat is not None
+                and (_compare_stat(incumbent) or float("inf")) > challenger_stat
+            ):
+                best[name] = row
+    return sorted(best.values(), key=lambda row: row["name"] or "")
+
+
+def _compare_stat(row: dict) -> float | None:
+    """The wall-clock statistic ``--compare`` matches on: min, else mean.
+
+    The per-round minimum is the noise-robust choice on shared or
+    oversubscribed runners (scheduler bursts only ever *add* time, so the
+    fastest round is the closest observation of the code's true cost);
+    older baselines without ``min_s`` fall back to ``mean_s``.
+    """
+    stat = row.get("min_s")
+    return stat if stat is not None else row.get("mean_s")
+
+
 def compare_baselines(
     old: dict, new: dict, threshold: float
 ) -> tuple[str, list[str]]:
     """Delta table between two baseline dicts, plus the regressions found.
 
     Benchmarks are matched by name; a positive delta means the new run is
-    slower.  A benchmark regresses when ``new_mean > threshold * old_mean``.
-    Entries present on only one side are listed but never count as
-    regressions (they are additions/removals, not slowdowns).
+    slower.  A benchmark regresses when its best (minimum) round exceeds
+    ``threshold`` times the old baseline's best round — see
+    :func:`_compare_stat` for why minima rather than means.  Entries
+    present on only one side are listed but never count as regressions
+    (they are additions/removals, not slowdowns).
     """
     old_by_name = {row["name"]: row for row in old.get("benchmarks", [])}
     new_by_name = {row["name"]: row for row in new.get("benchmarks", [])}
@@ -126,31 +182,31 @@ def compare_baselines(
     width = max((len(name) for name in names), default=4)
     old_tag = old.get("tag") or "old"
     lines = [
-        f"benchmark deltas vs {old_tag} (threshold: {threshold:.2f}x)",
-        f"{'name'.ljust(width)}  {'old mean':>12}  {'new mean':>12}  {'delta':>8}",
+        f"benchmark deltas vs {old_tag} (best round, threshold: {threshold:.2f}x)",
+        f"{'name'.ljust(width)}  {'old best':>12}  {'new best':>12}  {'delta':>8}",
     ]
     regressions: list[str] = []
     for name in names:
         old_row = old_by_name.get(name) or {}
         new_row = new_by_name.get(name) or {}
-        old_mean = old_row.get("mean_s")
-        new_mean = new_row.get("mean_s")
-        if old_mean is None and new_mean is None:
+        old_best = _compare_stat(old_row)
+        new_best = _compare_stat(new_row)
+        if old_best is None and new_best is None:
             lines.append(f"{name.ljust(width)}  {'-':>12}  {'-':>12}  {'-':>8}")
             continue
-        if old_mean is None:
-            lines.append(f"{name.ljust(width)}  {'-':>12}  {new_mean:>12.6f}  {'NEW':>8}")
+        if old_best is None:
+            lines.append(f"{name.ljust(width)}  {'-':>12}  {new_best:>12.6f}  {'NEW':>8}")
             continue
-        if new_mean is None:
-            lines.append(f"{name.ljust(width)}  {old_mean:>12.6f}  {'-':>12}  {'GONE':>8}")
+        if new_best is None:
+            lines.append(f"{name.ljust(width)}  {old_best:>12.6f}  {'-':>12}  {'GONE':>8}")
             continue
-        delta = (new_mean / old_mean - 1.0) * 100.0 if old_mean else float("inf")
+        delta = (new_best / old_best - 1.0) * 100.0 if old_best else float("inf")
         marker = ""
-        if old_mean and new_mean > threshold * old_mean:
+        if old_best and new_best > threshold * old_best:
             marker = "  REGRESSED"
             regressions.append(name)
         lines.append(
-            f"{name.ljust(width)}  {old_mean:>12.6f}  {new_mean:>12.6f}  {delta:>+7.1f}%{marker}"
+            f"{name.ljust(width)}  {old_best:>12.6f}  {new_best:>12.6f}  {delta:>+7.1f}%{marker}"
         )
     return "\n".join(lines), regressions
 
@@ -187,6 +243,14 @@ def main(argv: list[str] | None = None) -> int:
         help="untimed warmup rounds per benchmark before timing (default: 1)",
     )
     parser.add_argument(
+        "--repeat",
+        type=int,
+        default=1,
+        help="whole-suite repeats merged best-of-N per benchmark (default: "
+        "1; use 2-3 on shared/noisy runners so one scheduler burst cannot "
+        "contaminate every observation of a benchmark)",
+    )
+    parser.add_argument(
         "--compare",
         type=Path,
         default=None,
@@ -197,7 +261,7 @@ def main(argv: list[str] | None = None) -> int:
         "--regression-threshold",
         type=float,
         default=1.5,
-        help="mean-wall-clock ratio above which --compare reports a "
+        help="best-round wall-clock ratio above which --compare reports a "
         "regression (default: 1.5, i.e. 50%% slower)",
     )
     parser.add_argument(
@@ -213,6 +277,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--rounds must be at least 1")
     if args.warmup < 0:
         parser.error("--warmup must be non-negative")
+    if args.repeat < 1:
+        parser.error("--repeat must be at least 1")
     # Load the prior baseline up front: the default output file may be the
     # very baseline being compared against (e.g. `--compare BENCH_PR4.json`
     # with no --output), and the comparison must see its pre-run contents.
@@ -230,12 +296,27 @@ def main(argv: list[str] | None = None) -> int:
         args.output = REPO_ROOT / f"BENCH_{args.tag}.json"
 
     with tempfile.TemporaryDirectory() as tmp:
-        raw_json = Path(tmp) / "pytest-benchmark.json"
-        exit_code = run_benchmarks(args.select, raw_json, args.rounds, args.warmup)
-        if not raw_json.exists():
+        runs: list[list[dict]] = []
+        exit_codes: list[int] = []
+        for attempt in range(args.repeat):
+            raw_json = Path(tmp) / f"pytest-benchmark-{attempt}.json"
+            exit_codes.append(
+                run_benchmarks(args.select, raw_json, args.rounds, args.warmup)
+            )
+            if raw_json.exists():
+                runs.append(summarize(raw_json))
+        # Every pytest child has been waited on, so RUSAGE_CHILDREN now
+        # carries their high-water mark - the memory claim behind the
+        # n>=50k tiled runs lands in the baseline JSON next to the
+        # wall-clocks.
+        child_peak_rss = peak_rss_bytes(resource.RUSAGE_CHILDREN)
+        # Best exit code across repeats, matching the best-of-N timings: a
+        # floor assertion that passes in any repeat demonstrably holds.
+        exit_code = min(exit_codes)
+        if not runs:
             print("benchmark run produced no JSON; aborting", file=sys.stderr)
             return exit_code or 1
-        benchmarks = summarize(raw_json)
+        benchmarks = merge_best(runs)
 
     baseline = {
         "generated_utc": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -243,7 +324,9 @@ def main(argv: list[str] | None = None) -> int:
         "select": args.select,
         "rounds": args.rounds,
         "warmup": args.warmup,
+        "repeat": args.repeat,
         "machine": machine_info(),
+        "peak_rss_bytes": child_peak_rss,
         "benchmarks": benchmarks,
     }
     args.output.write_text(json.dumps(baseline, indent=2) + "\n")

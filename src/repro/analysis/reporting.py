@@ -16,6 +16,7 @@ __all__ = [
     "dynamics_health_table",
     "kernel_time_table",
     "counters_table",
+    "gauges_table",
 ]
 
 
@@ -149,6 +150,27 @@ def counters_table(
         }
         for name, labels, value in registry.counters()
         if not name.startswith(tuple(exclude_prefixes))
+    ]
+    return format_table(rows, title=title)
+
+
+def gauges_table(
+    registry: Any,
+    title: str | None = None,
+) -> str:
+    """Aligned table of every gauge (last-written value) in a registry.
+
+    Gauges record point-in-time quantities - resident bytes of the tiled
+    geometry store, near pairs currently held - where the last value, not a
+    running total, is the number of interest.
+    """
+    rows = [
+        {
+            "gauge": name,
+            "labels": ", ".join(f"{key}={value}" for key, value in labels.items()) or "-",
+            "value": int(value) if float(value).is_integer() else value,
+        }
+        for name, labels, value in registry.gauges()
     ]
     return format_table(rows, title=title)
 

@@ -40,7 +40,7 @@ from ..sinr import (
     LinkArrayCache,
     SINRParameters,
 )
-from ..state import DecodeWorkspace, NetworkState
+from ..state import DecodeWorkspace, NetworkState, TiledNetworkState
 from .power_solver import is_power_controllable
 
 __all__ = ["DistrCapResult", "DistrCapSelector"]
@@ -114,12 +114,19 @@ class DistrCapSelector:
         # sender->receiver block from it - bitwise the hypot values it would
         # otherwise recompute per slot.  Bounded like every other O(n^2)
         # upgrade site: past MAX_CACHED_CHANNEL_NODES endpoints the slots
-        # fall back to computing their own small blocks.
-        state = NetworkState.from_links(link_list)
-        if len(state) <= MAX_CACHED_CHANNEL_NODES:
-            state.distance_matrix()
+        # fall back to computing their own small blocks.  Under
+        # store="tiled" the state is O(n) with no matrices to materialize
+        # and no ceiling: slots share its slot map and compute exact
+        # rectangles from coordinates at any n.
+        state: NetworkState | None
+        if self.params.store == "tiled":
+            state = TiledNetworkState.from_links(link_list)
         else:
-            state = None
+            state = NetworkState.from_links(link_list)
+            if len(state) <= MAX_CACHED_CHANNEL_NODES:
+                state.distance_matrix()
+            else:
+                state = None
         phases = self._partition_into_phases(link_list, link_rounds)
         tau = self.constants.distr_cap_tau
         gamma = self.constants.duality_gamma

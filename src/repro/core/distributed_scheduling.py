@@ -42,7 +42,7 @@ from ..sinr import (
     Transmission,
 )
 from ..sinr.channel import ensure_positive_powers
-from ..state import NetworkState
+from ..state import NetworkState, TiledNetworkState
 from .schedule import Schedule
 
 __all__ = ["DistributedScheduler", "DistributedScheduleResult"]
@@ -161,11 +161,18 @@ class DistributedScheduler:
         # computed once; every frame's resolution gathers blocks from it
         # through the channel's view (bounded: the store holds an O(n^2)
         # matrix).  With a cached channel each frame is resolved on index
-        # arrays (no Transmission/Reception marshalling).
-        endpoint_state = NetworkState.from_links(link_list)
+        # arrays (no Transmission/Reception marshalling).  The tiled store
+        # removes the ceiling: O(n) memory, exact rectangles, so the index
+        # fast path stays engaged at any endpoint count.
+        endpoint_state = (
+            TiledNetworkState.from_links(link_list)
+            if self.params.store == "tiled"
+            else NetworkState.from_links(link_list)
+        )
         channel: Channel = (
             CachedChannel(self.params, state=endpoint_state)
-            if len(endpoint_state) <= MAX_CACHED_CHANNEL_NODES
+            if self.params.store == "tiled"
+            or len(endpoint_state) <= MAX_CACHED_CHANNEL_NODES
             else Channel(self.params)
         )
         sender_idx: np.ndarray | None = None

@@ -295,7 +295,10 @@ class TreeRepairer:
         preconditions were validated before anything mutated, so neither a
         failed ``Init`` re-run nor a bad id can leave the state
         half-spliced.  Failures are O(1) slot releases; arrivals patch only
-        their own matrix rows (O(k * capacity)).
+        their own matrix rows (O(k * capacity)) on the dense store, and are
+        pure O(k) bookkeeping on a :class:`~repro.state.TiledNetworkState`
+        (its tile grid and row caches rebuild lazily at the bumped version,
+        so churn patching costs nothing quadratic there).
         """
         if state is None:
             return

@@ -203,6 +203,11 @@ class NetInitBuilder:
             interval=1,
             miss_threshold=self.miss_threshold,
         )
+        # The plain Channel is upgraded to a CachedChannel by the inherited
+        # Simulator init path: always for n <= MAX_CACHED_CHANNEL_NODES, and
+        # at any n when ``params.store == "tiled"`` (the O(n) tiled geometry
+        # store has no matrix to materialize, so batch index decoding stays
+        # engaged for 50k+ node networks).
         sim = NetSimulator(
             agents,
             Channel(self.params),

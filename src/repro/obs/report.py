@@ -17,6 +17,7 @@ and exports the registry on request as a Perfetto-loadable Chrome trace
 Usage:
     python -m repro.obs report                       # E13, quick config
     python -m repro.obs report --experiment E1 --workers 2
+    python -m repro.obs report --experiment E1 --store tiled
     python -m repro.obs report --trace e13.trace.json --jsonl e13.jsonl
     python -m repro.obs report --allocs --top 20
 """
@@ -56,6 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="trial-fabric workers; counters merge exactly at any count (default 1)",
     )
     parser.add_argument(
+        "--store",
+        choices=("dense", "tiled"),
+        default=None,
+        help="geometry store override; 'tiled' runs the sweep on the O(n) "
+        "store and surfaces its gauges (near-pairs, resident bytes)",
+    )
+    parser.add_argument(
         "--trace",
         type=Path,
         default=None,
@@ -88,7 +96,12 @@ def run_report(args: argparse.Namespace) -> int:
     # Imported here, not at module top: the experiment harness itself uses
     # repro.obs, and the report CLI is the one obs module that looks back up
     # the stack - deferring keeps ``import repro.obs`` light and cycle-free.
-    from ..analysis.reporting import counters_table, format_table, kernel_time_table
+    from ..analysis.reporting import (
+        counters_table,
+        format_table,
+        gauges_table,
+        kernel_time_table,
+    )
     from ..experiments import ALL_EXPERIMENTS, ExperimentConfig
 
     experiment_id = args.experiment.upper()
@@ -101,7 +114,7 @@ def run_report(args: argparse.Namespace) -> int:
         )
         return 2
     config = ExperimentConfig.full() if args.full else ExperimentConfig.quick()
-    config = dataclasses.replace(config, workers=args.workers)
+    config = dataclasses.replace(config, workers=args.workers, store=args.store)
 
     instrumentation = None if args.no_kernel_timers else instrument_kernels()
     try:
@@ -118,6 +131,9 @@ def run_report(args: argparse.Namespace) -> int:
         print(kernel_time_table(registry, title="per-kernel wall time (inclusive)"))
         print()
     print(counters_table(registry, title="counters"))
+    if any(True for _ in registry.gauges()):
+        print()
+        print(gauges_table(registry, title="gauges (last value)"))
     print(f"\nspans recorded: {len(registry.spans)}")
 
     if args.trace is not None:

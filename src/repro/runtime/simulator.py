@@ -93,7 +93,13 @@ class Simulator:
         # nodes - the store that owns the O(n^2) distance/attenuation
         # matrices every slot's decode gathers from (bounded by
         # MAX_CACHED_CHANNEL_NODES); subclassed channels are left untouched.
-        if type(channel) is Channel and len(self.agents) <= MAX_CACHED_CHANNEL_NODES:
+        # Under store="tiled" the upgrade is unconditional: the tiled state
+        # is O(n), so there is no node-count ceiling to respect - this is
+        # the init path (NetSimulator included, via inheritance) that lets
+        # n >= 50k runs keep the batch decode engine.
+        if type(channel) is Channel and (
+            len(self.agents) <= MAX_CACHED_CHANNEL_NODES or channel.params.store == "tiled"
+        ):
             channel = CachedChannel(channel.params, [agent.node for agent in self.agents])
         self.channel = channel
         if trace is None:

@@ -42,7 +42,7 @@ import numpy as np
 from .._types import DecodeTriple, FloatArray
 from ..contracts import hot_kernel
 from ..geometry import Node
-from ..state import DecodeWorkspace, NetworkState
+from ..state import DecodeWorkspace, NetworkState, TiledNetworkState
 from .arrays import NodeArrayCache
 from .parameters import SINRParameters
 
@@ -751,6 +751,11 @@ class CachedChannel(Channel):
                 raise ValueError(
                     "CachedChannel needs a node universe: pass nodes, cache or state"
                 )
+            elif params.store == "tiled":
+                # The store switch: an O(n) tiled state instead of the dense
+                # O(n^2) matrices.  Decode rectangles stay bitwise-equal to
+                # the dense gather, so this channel's results are identical.
+                cache = NodeArrayCache(state=TiledNetworkState(nodes))
             else:
                 cache = NodeArrayCache(nodes)
         elif state is not None and cache.state is not state:

@@ -13,12 +13,30 @@ the same expressions on the same floats.
 
 from __future__ import annotations
 
+import math
+from typing import TYPE_CHECKING
+
 import numpy as np
 
-from .._types import FloatArray
+from .._types import FloatArray, IntpArray
 from ..contracts import hot_kernel
 
-__all__ = ["pairwise_distances", "attenuation_from_distances"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (scratch imports nothing back)
+    from .scratch import DecodeWorkspace
+
+__all__ = [
+    "pairwise_distances",
+    "attenuation_from_distances",
+    "tile_codes",
+    "distance_rect_from_xy",
+    "attenuation_rect_from_xy",
+    "far_tile_power_sums",
+]
+
+#: Tile-coordinate packing: the signed (ix, iy) axis-index pair is packed as
+#: ``ix * _TILE_SPAN + iy`` into one int64, so a tile identity is a single
+#: sortable scalar (the grid build sorts/uniques these codes).
+_TILE_SPAN = 2**32
 
 
 @hot_kernel(oracle="hypot", allocates=True)
@@ -52,3 +70,129 @@ def attenuation_from_distances(dist: FloatArray, alpha: float) -> FloatArray:
     att = np.maximum(dist, 1e-300) ** alpha
     att[dist <= 0] = 0.0
     return att
+
+
+def _tile_codes_reference(xy: FloatArray, tile_size: float) -> IntpArray:
+    """Scalar-loop oracle for :func:`tile_codes` (parity target, not a hot path)."""
+    codes = np.empty(len(xy), dtype=np.int64)
+    for pos, (x, y) in enumerate(np.asarray(xy, dtype=float).tolist()):
+        ix = int(math.floor(x / tile_size))
+        iy = int(math.floor(y / tile_size))
+        codes[pos] = ix * _TILE_SPAN + iy
+    return codes
+
+
+@hot_kernel(oracle="_tile_codes_reference", allocates=True)
+def tile_codes(xy: FloatArray, tile_size: float) -> IntpArray:
+    """Packed int64 tile identity for each point of ``xy`` on a uniform grid.
+
+    The axis index is ``floor(coord / tile_size)`` - the same binning rule as
+    :class:`repro.geometry.GridIndex` - packed as ``ix * 2**32 + iy``, which
+    is injective while ``|iy| < 2**31`` (the y index occupies one width-2**32
+    residue window per x index), so one ``np.unique`` over the codes recovers
+    the occupied tiles.  Sorting by code groups points tile-by-tile, which is
+    how the tiled store builds its member lists, centroids and radii in
+    O(n log n).
+    """
+    ij = np.floor(np.asarray(xy, dtype=float) / tile_size).astype(np.int64)
+    return ij[:, 0] * _TILE_SPAN + ij[:, 1]
+
+
+@hot_kernel(oracle="pairwise_distances")
+def distance_rect_from_xy(
+    xy_rows: FloatArray,
+    xy_cols: FloatArray,
+    workspace: "DecodeWorkspace | None" = None,
+    key: str = "rect",
+) -> FloatArray:
+    """Distance rectangle straight from coordinates, no (cap, cap) matrix behind it.
+
+    Elementwise this is exactly :func:`pairwise_distances` - ``hypot`` on the
+    same coordinate differences - so a rectangle gathered from a dense
+    patched matrix and one computed here from the same coordinates are
+    bitwise equal.  With a workspace the subtraction and ``hypot`` run
+    entirely in arena buffers (``out=``), keeping the decode loop
+    allocation-free for the tiled store just like the dense gather path.
+    """
+    if workspace is None:
+        return pairwise_distances(xy_rows, xy_cols)
+    rows = xy_rows.shape[0]
+    cols = xy_cols.shape[0]
+    out = workspace.floats(key + ".dx", rows, cols)
+    dy = workspace.floats(key + ".dy", rows, cols)
+    np.subtract(xy_rows[:, 0][:, None], xy_cols[None, :, 0], out=out)
+    np.subtract(xy_rows[:, 1][:, None], xy_cols[None, :, 1], out=dy)
+    np.hypot(out, dy, out=out)
+    return out
+
+
+@hot_kernel(oracle="attenuation_from_distances")
+def attenuation_rect_from_xy(
+    xy_rows: FloatArray,
+    xy_cols: FloatArray,
+    alpha: float,
+    workspace: "DecodeWorkspace | None" = None,
+    key: str = "rect",
+) -> FloatArray:
+    """Attenuation rectangle from coordinates: ``max(d, 1e-300)**alpha``, colocated 0.
+
+    Composition of :func:`distance_rect_from_xy` and the
+    :func:`attenuation_from_distances` arithmetic, fused so the tiled store
+    can serve ``attenuation_block`` rectangles without a backing matrix.
+    Bitwise-equal to gathering the same rectangle out of a dense
+    ``attenuation_matrix`` because every elementwise operation is identical.
+    """
+    if workspace is None:
+        return attenuation_from_distances(pairwise_distances(xy_rows, xy_cols), alpha)
+    dist = distance_rect_from_xy(xy_rows, xy_cols, workspace, key + ".dist")
+    att = workspace.floats(key + ".att", dist.shape[0], dist.shape[1])
+    colocated = workspace.bools(key + ".colocated", dist.shape[0], dist.shape[1])
+    np.maximum(dist, 1e-300, out=att)
+    np.power(att, alpha, out=att)
+    np.less_equal(dist, 0.0, out=colocated)
+    np.copyto(att, 0.0, where=colocated)
+    return att
+
+
+def _far_tile_reference(
+    tx_xy: FloatArray,
+    tx_power: FloatArray,
+    centroids: FloatArray,
+    alpha: float,
+) -> FloatArray:
+    """Scalar-loop oracle for :func:`far_tile_power_sums`."""
+    sums = np.zeros(len(centroids), dtype=float)
+    points = np.asarray(centroids, dtype=float).tolist()
+    senders = np.asarray(tx_xy, dtype=float).tolist()
+    powers = np.asarray(tx_power, dtype=float).tolist()
+    for t, (cx, cy) in enumerate(points):
+        acc = 0.0
+        for (x, y), p in zip(senders, powers):
+            d = math.hypot(cx - x, cy - y)
+            acc += p / max(d, 1e-300) ** alpha
+        sums[t] = acc
+    return sums
+
+
+@hot_kernel(oracle="_far_tile_reference", allocates=True)
+def far_tile_power_sums(
+    tx_xy: FloatArray,
+    tx_power: FloatArray,
+    centroids: FloatArray,
+    alpha: float,
+) -> FloatArray:
+    """Per-tile received-power aggregate ``sum_i P_i / max(|c_t - x_i|, eps)**alpha``.
+
+    The far-field half of the tiled affectance decomposition: every sender
+    beyond the near radius contributes to a tile through its centroid
+    distance instead of through per-receiver entries, collapsing an
+    ``O(m)``-column row update to ``O(tiles)``.  Senders accumulate in index
+    order with one vectorized sweep over tiles each, so adding members one
+    at a time (the accumulator's incremental path) reproduces a batch call
+    bit-for-bit - which is what makes ``remove`` an exact inverse of ``add``.
+    """
+    sums = np.zeros(centroids.shape[0], dtype=float)
+    for i in range(tx_xy.shape[0]):
+        d = np.hypot(centroids[:, 0] - tx_xy[i, 0], centroids[:, 1] - tx_xy[i, 1])
+        sums += tx_power[i] / np.maximum(d, 1e-300) ** alpha
+    return sums

@@ -64,6 +64,15 @@ class NetworkState:
     #: so the adopted views outlive the exporting process's unlink.
     _shm_keepalive: list[object]
 
+    #: Store discriminator mirrored by ``SINRParameters.store``: the dense
+    #: store materializes O(capacity^2) matrices; the tiled subclass
+    #: (:class:`repro.state.TiledNetworkState`) overrides both.
+    store: str = "dense"
+    #: Whether whole derived matrices exist to be gathered from.  Consumers
+    #: such as ``NodeArrayCache`` dispatch on this instead of isinstance, so
+    #: third-party stores can opt in to either protocol.
+    materializes_matrices: bool = True
+
     def __init__(self, nodes: Iterable[Node] = (), *, capacity: int | None = None) -> None:
         node_list = list(nodes)
         n = len(node_list)

@@ -29,10 +29,12 @@ from __future__ import annotations
 import secrets
 from dataclasses import dataclass
 from multiprocessing import shared_memory
+from typing import cast
 
 import numpy as np
 
 from .network import NetworkState
+from .tiled import TiledNetworkState
 
 __all__ = ["SharedArraySpec", "SharedStateSpec", "StateExport", "export_state", "attach_state"]
 
@@ -54,6 +56,12 @@ class SharedStateSpec:
     ids: SharedArraySpec
     distances: SharedArraySpec | None
     attenuation: tuple[tuple[float, SharedArraySpec], ...]
+    #: Store discriminator; workers re-materialize the same store kind.
+    #: Defaulted for backward compatibility with pre-tiled specs.
+    store: str = "dense"
+    #: Tiled-store configuration (tile_size, budget_bytes, near_rings); only
+    #: meaningful when ``store == "tiled"``.
+    tile: tuple[float, int, int] | None = None
 
     @property
     def block_names(self) -> tuple[str, ...]:
@@ -134,6 +142,7 @@ def export_state(
             "only compact states (live slots 0..n-1) can be exported; "
             "re-pack the state before sharing it"
         )
+    tiled = not state.materializes_matrices
     blocks: list[shared_memory.SharedMemory] = []
     try:
         xy_spec, block = _export_array(state.xy[:n], "xy")
@@ -141,25 +150,38 @@ def export_state(
         ids_spec, block = _export_array(state.ids[:n], "ids")
         blocks.append(block)
         dist_spec = None
-        if include_distances:
+        if include_distances and not tiled:
             dist_spec, block = _export_array(state.distance_matrix()[:n, :n], "dist")
             blocks.append(block)
         att_specs = []
-        for alpha in alphas:
-            spec, block = _export_array(state.attenuation_matrix(alpha)[:n, :n], "att")
-            blocks.append(block)
-            att_specs.append((float(alpha), spec))
+        if not tiled:
+            # A tiled state has no matrices to ship - workers rebuild their
+            # own O(n) derived structures from the shared coordinates.
+            for alpha in alphas:
+                spec, block = _export_array(state.attenuation_matrix(alpha)[:n, :n], "att")
+                blocks.append(block)
+                att_specs.append((float(alpha), spec))
     except Exception:
         for block in blocks:
             block.close()
             block.unlink()
         raise
+    tile_config: tuple[float, int, int] | None = None
+    if tiled:
+        config = cast(TiledNetworkState, state).tile_config
+        tile_config = (
+            float(config["tile_size"]),
+            int(config["budget_bytes"]),
+            int(config["near_rings"]),
+        )
     return StateExport(
         SharedStateSpec(
             xy=xy_spec,
             ids=ids_spec,
             distances=dist_spec,
             attenuation=tuple(att_specs),
+            store=state.store,
+            tile=tile_config,
         ),
         blocks,
     )
@@ -186,7 +208,17 @@ def attach_state(spec: SharedStateSpec) -> NetworkState:
         matrix, block = _attach_array(array_spec)
         keepalive.append(block)
         attenuation[alpha] = matrix
-    state = NetworkState.from_arrays(xy, ids, distances=distances, attenuation=attenuation)
+    state: NetworkState
+    if getattr(spec, "store", "dense") == "tiled":
+        tile = spec.tile
+        if tile is not None:
+            state = TiledNetworkState.from_arrays(
+                xy, ids, tile_size=tile[0], budget_bytes=tile[1], near_rings=tile[2]
+            )
+        else:
+            state = TiledNetworkState.from_arrays(xy, ids)
+    else:
+        state = NetworkState.from_arrays(xy, ids, distances=distances, attenuation=attenuation)
     # The blocks must outlive the adopted views; anchoring them on the state
     # this function itself just created is the deliberate exception.
     state._shm_keepalive = keepalive  # noqa: SLF001  # repro-lint: disable=RL004
