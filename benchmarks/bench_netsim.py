@@ -24,7 +24,14 @@ import numpy as np
 
 from repro.core import InitialTreeBuilder
 from repro.geometry import deployment_by_name
-from repro.netsim import FaultPlan, NetInitBuilder
+from repro.netsim import (
+    CrashSchedule,
+    FaultPlan,
+    NetInitBuilder,
+    election_priority,
+    run_root_failover,
+)
+from repro.netsim.faults import CrashWindow
 from repro.sinr import SINRParameters
 
 N_NODES = 96
@@ -96,4 +103,46 @@ def bench_netsim(benchmark):
     assert ratio <= OVERHEAD_CEILING, (
         f"zero-fault netsim runtime is {ratio:.1f}x the lockstep engine "
         f"(ceiling: {OVERHEAD_CEILING}x)"
+    )
+
+
+def _run_failover(params, tree, power, root):
+    plan = FaultPlan(
+        seed=SEED, drop_prob=0.10, crashes=CrashSchedule((CrashWindow(root, 0),))
+    )
+    return run_root_failover(
+        tree,
+        power,
+        params=params,
+        plan=plan,
+        crashed_ids=[root],
+        rng=np.random.default_rng(SEED + 2),
+    )
+
+
+def bench_election_failover(benchmark):
+    """Root-failover latency: election + re-root + repair at 10% loss.
+
+    The liveness pin always runs: the survivors elect the max-priority live
+    node, the tree re-roots at it and spans every survivor.  Timed runs
+    record the wall-clock of the whole recovery (the election itself is a
+    few slots; the cost is the completion patch re-attaching the dead
+    root's orphans).
+    """
+    params = SINRParameters()
+    oracle = _run_lockstep(params)
+    tree, power, root = oracle.tree, oracle.power, oracle.tree.root_id
+
+    failover = _run_failover(params, tree, power, root)
+    survivors = set(tree.nodes) - {root}
+    assert failover.new_root_id == max(
+        survivors, key=lambda nid: election_priority(SEED, nid)
+    )
+    assert failover.tree.root_id == failover.new_root_id
+    assert set(failover.tree.nodes) == survivors
+    failover.tree.validate()
+    assert failover.election.slots_used > 0
+
+    benchmark.pedantic(
+        lambda: _run_failover(params, tree, power, root), rounds=1, iterations=1
     )

@@ -62,7 +62,7 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 from repro.experiments.parallel import usable_cpu_count  # noqa: E402
 
 # Tag of the baseline currently being grown; bump per perf-relevant PR.
-DEFAULT_TAG = "PR9"
+DEFAULT_TAG = "PR10"
 
 
 def peak_rss_bytes(who: int = resource.RUSAGE_SELF) -> int:

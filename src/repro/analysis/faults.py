@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Mapping, Sequence
 
-from ..netsim import NetInitResult
+from ..netsim import FailoverResult, NetInitResult
 from .reporting import format_table
 
 __all__ = ["FaultReport", "fault_report", "overhead_table", "round_overhead"]
@@ -37,6 +37,12 @@ class FaultReport:
         reattached: orphaned subtree roots the patch re-attached.
         retries: reliable-outbox retransmissions across all nodes.
         timeouts: reliable-outbox deliveries that exhausted their budget.
+        elections: leader elections the run had to hold (root failures).
+        election_rounds: candidate campaigns across all elections.
+        election_slots: channel slots spent electing.
+        reroots: tree re-rooting splices performed after elections.
+        degraded: whether any protocol stage finished with a partial
+            result (missing subtrees, dropped winners, ...).
     """
 
     n_nodes: int
@@ -52,6 +58,11 @@ class FaultReport:
     reattached: int
     retries: int = 0
     timeouts: int = 0
+    elections: int = 0
+    election_rounds: int = 0
+    election_slots: int = 0
+    reroots: int = 0
+    degraded: bool = False
 
     def as_row(self) -> dict[str, Any]:
         """Flat dictionary form for the reporting tables."""
@@ -68,6 +79,10 @@ class FaultReport:
             "reattached": self.reattached,
             "retries": self.retries,
             "timeouts": self.timeouts,
+            "elections": self.elections,
+            "election_slots": self.election_slots,
+            "reroots": self.reroots,
+            "degraded": self.degraded,
         }
 
 
@@ -81,6 +96,8 @@ def fault_report(
     *,
     n_nodes: int | None = None,
     oracle_slots: int = 0,
+    failover: FailoverResult | None = None,
+    degraded: bool = False,
 ) -> FaultReport:
     """Condense a :class:`~repro.netsim.NetInitResult` into a report.
 
@@ -88,16 +105,29 @@ def fault_report(
         result: the netsim ``Init`` outcome.
         n_nodes: deployment size before crashes (defaults to tree + crashed).
         oracle_slots: the lockstep oracle's cost, when one was run.
+        failover: root-failover outcome, when the run's root crashed and a
+            leader election + re-root recovered the tree.
+        degraded: whether a later stage (aggregation, selection) on this
+            run reported a partial result.
     """
     alive = result.tree.size
     total = n_nodes if n_nodes is not None else alive + len(result.crashed)
     summary = result.fault_summary
+    slots = result.slots_used
+    elections = election_rounds = election_slots = reroots = 0
+    if failover is not None:
+        elections = 1
+        election_rounds = failover.election.rounds_used
+        election_slots = failover.election.slots_used
+        reroots = 1 if failover.repair.root_changed else 0
+        slots += failover.slots_used
+        alive = failover.tree.size
     return FaultReport(
         n_nodes=total,
         n_alive=alive,
-        slots=result.slots_used,
+        slots=slots,
         oracle_slots=oracle_slots,
-        round_overhead=round_overhead(result.slots_used, oracle_slots),
+        round_overhead=round_overhead(slots, oracle_slots),
         transmissions=sum(result.send_budget.values()),
         dropped=int(summary.get("dropped", 0)),
         delayed=int(summary.get("delayed", 0)),
@@ -106,6 +136,11 @@ def fault_report(
         reattached=len(result.reattached),
         retries=int(summary.get("retries", 0)),
         timeouts=int(summary.get("timeouts", 0)),
+        elections=elections,
+        election_rounds=election_rounds,
+        election_slots=election_slots,
+        reroots=reroots,
+        degraded=degraded,
     )
 
 
@@ -141,6 +176,12 @@ def overhead_table(
                 "mean_patch_slots": round(
                     sum(r.completion_slots for r in reports) / count, 1
                 ),
+                "elections": sum(r.elections for r in reports),
+                "mean_election_slots": round(
+                    sum(r.election_slots for r in reports) / count, 1
+                ),
+                "reroots": sum(r.reroots for r in reports),
+                "degraded": sum(1 for r in reports if r.degraded),
             }
         )
     return format_table(rows, title=title)

@@ -118,15 +118,7 @@ class DistrCapSelector:
         # store="tiled" the state is O(n) with no matrices to materialize
         # and no ceiling: slots share its slot map and compute exact
         # rectangles from coordinates at any n.
-        state: NetworkState | None
-        if self.params.store == "tiled":
-            state = TiledNetworkState.from_links(link_list)
-        else:
-            state = NetworkState.from_links(link_list)
-            if len(state) <= MAX_CACHED_CHANNEL_NODES:
-                state.distance_matrix()
-            else:
-                state = None
+        state = self._geometry_state(link_list)
         phases = self._partition_into_phases(link_list, link_rounds)
         tau = self.constants.distr_cap_tau
         gamma = self.constants.duality_gamma
@@ -169,6 +161,17 @@ class DistrCapSelector:
         )
 
     # -- internals ----------------------------------------------------------
+
+    def _geometry_state(self, link_list: Sequence[Link]) -> NetworkState | None:
+        """The run's shared node-geometry store (also used by the netsim
+        overlay, so both paths gather bitwise-identical distance blocks)."""
+        if self.params.store == "tiled":
+            return TiledNetworkState.from_links(link_list)
+        state = NetworkState.from_links(link_list)
+        if len(state) <= MAX_CACHED_CHANNEL_NODES:
+            state.distance_matrix()
+            return state
+        return None
 
     def _partition_into_phases(
         self,

@@ -133,6 +133,7 @@ class TreeRepairer:
         arrivals: Iterable[Node] = (),
         rng: np.random.Generator,
         state: NetworkState | None = None,
+        preferred_root_id: int | None = None,
     ) -> RepairResult:
         """Apply one churn event: remove failures, attach arrivals, re-splice.
 
@@ -155,10 +156,19 @@ class TreeRepairer:
                 applied to it - failures release their slots, arrivals patch
                 only their own rows - so the caller's derived matrices stay
                 current at O(damage) cost instead of being rebuilt.
+            preferred_root_id: when given (the netsim leader election passes
+                the elected node here), the repaired tree is re-rooted at
+                this node by reversing the parent pointers along its path to
+                the spliced root.  The reversed links get fresh slot stamps
+                past the schedule (leaf-to-root *ordering* across the splice
+                is not preserved anyway - see the module docstring), and the
+                recorded powers cover both directions, so no extra channel
+                slots are spent.
 
         Raises:
             ProtocolError: if nothing is left to span, a failed id is
-                unknown, or an arrival id collides with an existing node.
+                unknown, an arrival id collides with an existing node, or
+                ``preferred_root_id`` is not among the spanned nodes.
         """
         failed = frozenset(int(node_id) for node_id in failed_ids)
         unknown = failed - set(tree.nodes)
@@ -218,7 +228,10 @@ class TreeRepairer:
                 if key[0] not in failed and key[1] not in failed
             }
         if not orphans and not arriving:
-            repaired = BiTree.from_parent_map(spanned, tree.root_id, parent, slots)
+            global_root = tree.root_id
+            if preferred_root_id is not None:
+                global_root = self._reroot(parent, slots, spanned, global_root, preferred_root_id)
+            repaired = BiTree.from_parent_map(spanned, global_root, parent, slots)
             self._splice_state(state, failed, arriving)
             return RepairResult(
                 tree=repaired,
@@ -226,7 +239,7 @@ class TreeRepairer:
                 slots_used=0,
                 failed=failed,
                 reattached=frozenset(),
-                root_changed=False,
+                root_changed=global_root != tree.root_id,
             )
 
         participants = [survivors[node_id] for node_id in orphans]
@@ -271,6 +284,8 @@ class TreeRepairer:
             global_root = tree.root_id
         else:
             global_root = patch.tree.root_id
+        if preferred_root_id is not None:
+            global_root = self._reroot(parent, slots, spanned, global_root, preferred_root_id)
         repaired = BiTree.from_parent_map(spanned, global_root, parent, slots)
         self._splice_state(state, failed, arriving)
         return RepairResult(
@@ -282,6 +297,61 @@ class TreeRepairer:
             root_changed=global_root != tree.root_id,
             arrived=frozenset(arriving),
         )
+
+    @staticmethod
+    def _reroot(
+        parent: dict[int, int],
+        slots: dict[int, int],
+        spanned: Sequence[Node],
+        current_root: int,
+        new_root: int,
+    ) -> int:
+        """Re-root the parent map at ``new_root`` by reversing its root path.
+
+        Every edge on the ``new_root -> current_root`` pointer chain flips
+        direction; the flipped links take fresh slot stamps past the current
+        schedule.  Pure pointer surgery - the links (and their recorded
+        powers, which cover both directions) are unchanged, so the repaired
+        structure remains a spanning bi-tree.
+        """
+        spanned_ids = {node.id for node in spanned}
+        if new_root not in spanned_ids:
+            raise ProtocolError(
+                f"preferred root {new_root} is not among the spanned nodes"
+            )
+        if new_root == current_root:
+            return current_root
+        path = [new_root]
+        # The pointer chain visits each node at most once, so the walk is
+        # bounded by the map size.
+        for _ in range(len(parent) + 1):
+            if path[-1] == current_root:
+                break
+            follow = parent.get(path[-1])
+            if follow is None:
+                raise ProtocolError(
+                    f"preferred root {new_root} is not connected to root {current_root}"
+                )
+            path.append(follow)
+        if path[-1] != current_root:
+            raise ProtocolError(
+                f"parent chain from {new_root} never reached root {current_root}"
+            )
+        stamp = max(slots.values(), default=0)
+        for child in path[:-1]:
+            del parent[child]
+            slots.pop(child, None)
+        for child, old_parent in zip(path, path[1:]):
+            parent[old_parent] = child
+        # Fresh stamps run *toward* the new root: the old root (now deepest
+        # on the flipped chain) fires first, each flipped parent after its
+        # flipped child - the ordering convergecast needs.
+        for node in reversed(path[1:]):
+            stamp += 1
+            slots[node] = stamp
+        if OBS.enabled:
+            OBS.registry.inc("repair.reroots")
+        return new_root
 
     @staticmethod
     def _splice_state(

@@ -14,6 +14,7 @@ from . import (
     e11_mobility,
     e12_churn,
     e13_loss,
+    e14_failover,
     f1_comparison,
     f2_delta,
     f3_uniform_lower_bound,
@@ -43,6 +44,7 @@ ALL_EXPERIMENTS = {
     "E11": e11_mobility.run,
     "E12": e12_churn.run,
     "E13": e13_loss.run,
+    "E14": e14_failover.run,
     "F1": f1_comparison.run,
     "F2": f2_delta.run,
     "F3": f3_uniform_lower_bound.run,

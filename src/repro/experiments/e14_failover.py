@@ -1,0 +1,180 @@
+"""E14 - Root failover: elections, lossy ``Distr-Cap`` and degraded aggregation.
+
+E13 established that ``Init`` survives a lossy transport.  This experiment
+stresses the rest of the protocol stack: the phased ``Distr-Cap`` selection
+and the aggregation schedules run over the same faulty transport across a
+loss sweep, and in the chaos cell the *root itself* is killed - the
+survivors elect a new root (seeded bully election), re-root the tree through
+the repair splice, and resume aggregation on the recovered tree.
+
+Two properties are pinned in-sweep:
+
+* **zero-fault parity** - at 0% loss the netsim ``Distr-Cap`` selects the
+  bit-identical link set in the identical slot count, and the netsim
+  convergecast reproduces the lockstep replay's root value and slot count
+  exactly;
+* **failover liveness** - after the root crash every seed must elect the
+  unique max-priority survivor, produce a valid tree spanning the
+  survivors rooted at it, and complete the resumed aggregation (possibly
+  degraded, never hung).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis.latency import simulate_convergecast
+from ..core import InitialTreeBuilder
+from ..core.distr_cap import DistrCapSelector
+from ..netsim import (
+    CrashSchedule,
+    CrashWindow,
+    FaultPlan,
+    NetDistrCapBuilder,
+    election_priority,
+    run_convergecast,
+    run_root_failover,
+)
+from .config import ExperimentConfig
+from .runner import ExperimentResult, average_rows, make_deployment, run_sweep
+
+__all__ = ["run", "LOSS_RATES", "FAILOVER_LOSS"]
+
+#: Per-message drop probabilities swept over Distr-Cap and convergecast.
+LOSS_RATES = (0.0, 0.05, 0.10, 0.20)
+#: Drop probability in force while the root crash is survived.
+FAILOVER_LOSS = 0.10
+
+
+def _trial(args: tuple[ExperimentConfig, int, int]) -> tuple[list[dict], dict]:
+    """One (n, seed) trial: a loss sweep plus the root-crash failover cell."""
+    config, n, seed = args
+    params = config.params
+    nodes = make_deployment(config, n, seed)
+    ids = [node.id for node in nodes]
+
+    built = InitialTreeBuilder(params, config.constants).build(
+        nodes, np.random.default_rng(14_000 + seed)
+    )
+    tree, power = built.tree, built.power
+    candidates = tree.aggregation_links()
+    cap_oracle = DistrCapSelector(params, config.constants).select(
+        candidates, np.random.default_rng(14_000 + seed), link_rounds=built.link_rounds
+    )
+    agg_oracle = simulate_convergecast(tree, power, params)
+
+    rows: list[dict] = []
+    for loss in LOSS_RATES:
+        plan = FaultPlan(seed=14_100 + seed, drop_prob=loss)
+        cap = NetDistrCapBuilder(params, config.constants, plan=plan).select(
+            candidates, np.random.default_rng(14_000 + seed), link_rounds=built.link_rounds
+        )
+        agg = run_convergecast(tree, power, params, plan=plan)
+        if loss == 0.0:
+            # In-sweep parity pins: a faultless netsim run is bit-identical
+            # to the lockstep oracles (selection, slots and root value).
+            assert [l.endpoint_ids for l in cap.selected] == [
+                l.endpoint_ids for l in cap_oracle.selected
+            ]
+            assert cap.slots_used == cap_oracle.slots_used
+            assert agg.root_value == agg_oracle.root_value
+            assert agg.slots == agg_oracle.slots
+        rows.append(
+            {
+                "n": n,
+                "seed": seed,
+                "loss": loss,
+                "cap_slots": cap.slots_used,
+                "cap_oracle_slots": cap_oracle.slots_used,
+                "cap_selected": len(cap.selected),
+                "cap_dropped_winners": cap.dropped_winners,
+                "agg_slots": agg.slots,
+                "agg_oracle_slots": agg_oracle.slots,
+                "agg_retries": agg.retries,
+                "agg_overhead": round(agg.slots / max(agg_oracle.slots, 1), 3),
+                "agg_correct": agg.correct,
+                "degraded": cap.degraded or agg.degraded,
+            }
+        )
+
+    # The failover cell: the root dies under double-digit loss; the
+    # survivors must elect, re-root and finish aggregating.
+    root = tree.root_id
+    plan = FaultPlan(
+        seed=14_100 + seed,
+        drop_prob=FAILOVER_LOSS,
+        crashes=CrashSchedule((CrashWindow(root, 0),)),
+    )
+    failover = run_root_failover(
+        tree,
+        power,
+        params=params,
+        constants=config.constants,
+        plan=plan,
+        crashed_ids=[root],
+        rng=np.random.default_rng(14_200 + seed),
+    )
+    failover.tree.validate()
+    survivors = set(ids) - {root}
+    expected_leader = max(survivors, key=lambda nid: election_priority(plan.seed, nid))
+    resumed = run_convergecast(
+        failover.tree,
+        failover.power,
+        params,
+        plan=plan.without_crashes(),
+        slot_offset=failover.slots_used,
+        quorum=0.5,
+    )
+    crash_row = {
+        "n": n,
+        "seed": seed,
+        "loss": FAILOVER_LOSS,
+        "leader_is_max_priority": failover.new_root_id == expected_leader,
+        "rerooted": failover.tree.root_id == failover.new_root_id,
+        "spans_survivors": set(failover.tree.nodes) == survivors,
+        "election_rounds": failover.election.rounds_used,
+        "election_slots": failover.election.slots_used,
+        "recovery_slots": failover.slots_used,
+        "resumed_slots": resumed.slots,
+        "resumed_quorum_met": resumed.quorum_met,
+        "resumed_missing": len(resumed.missing_subtrees),
+    }
+    return rows, crash_row
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Measure the stack's recovery cost: lossy selection, degraded
+    aggregation, and full root failover."""
+    config = config or ExperimentConfig()
+    result = ExperimentResult(
+        experiment_id="E14",
+        title="Root failover: election + re-root recovers the stack; zero-fault netsim is oracle-exact",
+    )
+    outcomes = run_sweep(_trial, config)
+    result.rows = [row for rows, _ in outcomes for row in rows]
+    crash_rows = [crash for _, crash in outcomes]
+
+    by_loss = average_rows(result.rows, "loss", ["agg_overhead", "agg_retries"])
+    result.summary = {
+        "mean_agg_overhead_by_loss": {
+            entry["loss"]: round(entry["agg_overhead"], 3) for entry in by_loss
+        },
+        "zero_fault_parity": all(
+            row["agg_overhead"] == 1.0 and row["cap_slots"] == row["cap_oracle_slots"]
+            for row in result.rows
+            if row["loss"] == 0.0
+        ),
+        "failover_converged": all(
+            row["leader_is_max_priority"] and row["rerooted"] and row["spans_survivors"]
+            for row in crash_rows
+        ),
+        "resumed_quorum_met": all(row["resumed_quorum_met"] for row in crash_rows),
+        "mean_recovery_slots": round(
+            float(np.mean([row["recovery_slots"] for row in crash_rows])), 1
+        ),
+        "mean_election_slots": round(
+            float(np.mean([row["election_slots"] for row in crash_rows])), 1
+        ),
+    }
+    result.rows.extend(crash_rows)
+    return result

@@ -13,10 +13,20 @@ Layers (bottom up): :mod:`.faults` (seeded fault models), :mod:`.transport`
 (delivery policy), :mod:`.detector` (heartbeat failure detection),
 :mod:`.runtime` (the :class:`NetSimulator` engine), :mod:`.delivery`
 (ack/retry/backoff reliable mode), :mod:`.driver` (quorum-or-timeout round
-advancement) and :mod:`.init_builder` (``Init`` over the lossy transport,
-with crash damage repaired through :class:`~repro.core.repair.TreeRepairer`).
+advancement), :mod:`.init_builder` (``Init`` over the lossy transport,
+with crash damage repaired through :class:`~repro.core.repair.TreeRepairer`),
+:mod:`.election` (bully-style leader election and root failover),
+:mod:`.distr_cap_builder` (``Distr-Cap`` selection over the transport) and
+:mod:`.aggregation` (convergecast/dissemination with per-hop retry budgets
+and an explicit partial-result degradation contract).
 """
 
+from .aggregation import (
+    NetConvergecastResult,
+    NetDisseminationResult,
+    run_convergecast,
+    run_dissemination,
+)
 from .delivery import (
     AckResponderAgent,
     OutstandingSend,
@@ -25,7 +35,15 @@ from .delivery import (
     RetryPolicy,
 )
 from .detector import HeartbeatDetector
+from .distr_cap_builder import NetDistrCapBuilder, NetDistrCapResult
 from .driver import RoundDriver
+from .election import (
+    BullyElection,
+    ElectionResult,
+    FailoverResult,
+    election_priority,
+    run_root_failover,
+)
 from .faults import (
     CrashSchedule,
     CrashWindow,
@@ -40,14 +58,21 @@ from .transport import FaultyTransport, PerfectTransport, Transport
 
 __all__ = [
     "AckResponderAgent",
+    "BullyElection",
     "CrashSchedule",
     "CrashWindow",
     "DELIVERY_MODES",
+    "ElectionResult",
+    "FailoverResult",
     "FaultPlan",
     "FaultTrace",
     "FaultyTransport",
     "HeartbeatDetector",
     "LatencyModel",
+    "NetConvergecastResult",
+    "NetDisseminationResult",
+    "NetDistrCapBuilder",
+    "NetDistrCapResult",
     "NetInitBuilder",
     "NetInitResult",
     "NetSimulator",
@@ -59,4 +84,8 @@ __all__ = [
     "RetryPolicy",
     "RoundDriver",
     "Transport",
+    "election_priority",
+    "run_convergecast",
+    "run_dissemination",
+    "run_root_failover",
 ]

@@ -351,7 +351,7 @@ class FaultTrace:
     scheduling orders and worker counts.
     """
 
-    __slots__ = ("crashes", "delayed", "dropped", "recoveries")
+    __slots__ = ("crashes", "delayed", "dropped", "heartbeat_losses", "recoveries")
 
     def __init__(self) -> None:
         #: (slot, src_id, dst_id) of every dropped delivery.
@@ -362,6 +362,11 @@ class FaultTrace:
         self.crashes: list[tuple[int, int]] = []
         #: (slot, node_id) of every recovery transition.
         self.recoveries: list[tuple[int, int]] = []
+        #: (hashed slot, node_id) of every lost out-of-band heartbeat.  The
+        #: *hashed* slot (protocol slot + transport offset) is recorded so a
+        #: completion patch that continues the streams at a fresh offset is
+        #: distinguishable from a replay of the main run's decisions.
+        self.heartbeat_losses: list[tuple[int, int]] = []
 
     def record_drop(self, slot: int, src_id: int, dst_id: int) -> None:
         self.dropped.append((slot, src_id, dst_id))
@@ -375,12 +380,16 @@ class FaultTrace:
     def record_recovery(self, slot: int, node_id: int) -> None:
         self.recoveries.append((slot, node_id))
 
+    def record_heartbeat_loss(self, hashed_slot: int, node_id: int) -> None:
+        self.heartbeat_losses.append((hashed_slot, node_id))
+
     def summary(self) -> dict[str, int]:
         return {
             "dropped": len(self.dropped),
             "delayed": len(self.delayed),
             "crashes": len(self.crashes),
             "recoveries": len(self.recoveries),
+            "heartbeat_losses": len(self.heartbeat_losses),
         }
 
     def digest(self) -> str:
@@ -391,6 +400,7 @@ class FaultTrace:
                 sorted(self.delayed),
                 sorted(self.crashes),
                 sorted(self.recoveries),
+                sorted(self.heartbeat_losses),
             )
         ).encode("utf-8")
         return hashlib.sha1(payload).hexdigest()

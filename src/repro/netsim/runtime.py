@@ -263,6 +263,7 @@ class NetSimulator(Simulator):
         trace = self.fault_trace
         summary = trace.summary() if trace is not None else {
             "dropped": 0, "delayed": 0, "crashes": 0, "recoveries": 0,
+            "heartbeat_losses": 0,
         }
         summary["receiver_busy_drops"] = self.receiver_busy_drops
         summary["crash_drops"] = self.crash_drops

@@ -129,4 +129,8 @@ class FaultyTransport(Transport):
         return self.plan.crashes.is_crashed(node_id, slot + self.slot_offset)
 
     def heartbeat_delivered(self, node_id: int, slot: int) -> bool:
-        return not self.plan.heartbeat_dropped(node_id, slot + self.slot_offset)
+        hashed_slot = slot + self.slot_offset
+        if self.plan.heartbeat_dropped(node_id, hashed_slot):
+            self.trace.record_heartbeat_loss(hashed_slot, node_id)
+            return False
+        return True

@@ -50,7 +50,7 @@ class TestExperimentRegistry:
     def test_registry_covers_design_index(self):
         expected = {
             "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
-            "E10", "E11", "E12", "E13", "F1", "F2", "F3",
+            "E10", "E11", "E12", "E13", "E14", "F1", "F2", "F3",
         }
         assert set(ALL_EXPERIMENTS) == expected
 

@@ -133,6 +133,22 @@ class TestTransports:
         assert not np.array_equal(delivered_base, delivered_shifted)
         assert np.array_equal(delivered_shifted, delivered_ref)
 
+    def test_heartbeat_digest_distinguishes_slot_offsets(self):
+        """Heartbeat losses are recorded at the hashed slot, so a transport
+        chained at an offset produces the continuation's digest, not the
+        origin's."""
+        plan = FaultPlan(seed=4, heartbeat_drop_prob=0.4)
+        base = FaultyTransport(plan)
+        shifted = FaultyTransport(plan, slot_offset=1000)
+        continuation = FaultyTransport(plan)
+        for slot in range(64):
+            base.heartbeat_delivered(7, slot)
+            shifted.heartbeat_delivered(7, slot)
+            continuation.heartbeat_delivered(7, slot + 1000)
+        assert base.trace.summary()["heartbeat_losses"] > 0
+        assert base.trace.digest() != shifted.trace.digest()
+        assert shifted.trace.digest() == continuation.trace.digest()
+
     def test_trace_records_drops_and_delays(self):
         plan = FaultPlan(seed=6, drop_prob=0.4, latency=LatencyModel(delay_prob=0.4))
         transport = FaultyTransport(plan)
